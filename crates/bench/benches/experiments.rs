@@ -1,0 +1,43 @@
+//! End-to-end benchmarks: whole-simulation throughput (events/second of
+//! wall time) for each calibrated profile, and quick-mode runs of the
+//! headline experiments. These measure the *simulator*, complementing the
+//! `repro` binary which measures the *simulated system*.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpsim::experiments::{f4_throughput, ExpOptions};
+use cpsim::Scenario;
+use cpsim_des::SimTime;
+use cpsim_workload::{cloud_a, enterprise};
+
+fn bench_profile_hour(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate-one-hour");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for profile in [cloud_a(), enterprise()] {
+        g.bench_function(&profile.name, |b| {
+            b.iter(|| {
+                let mut sim = Scenario::from_profile(&profile).seed(1).build();
+                sim.run_until(SimTime::from_hours(1));
+                black_box(sim.events_processed())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_quick_f4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("f4-quick", |b| {
+        b.iter(|| black_box(f4_throughput::run(&ExpOptions::quick())));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profile_hour, bench_quick_f4);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the management plane: placement scan scaling,
+//! linked-clone tree operations, and single-operation round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpsim_des::{EventQueue, SimTime, Streams};
+use cpsim_inventory::{DatastoreSpec, HostSpec, Inventory, VmSpec};
+use cpsim_mgmt::{CloneMode, ControlPlane, ControlPlaneConfig, Emit, MgmtEvent, OpKind, Placer};
+use cpsim_storage::{StoragePool, TemplateResidency};
+
+fn bench_placement_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    for &hosts in &[64usize, 1024] {
+        let mut inv = Inventory::new();
+        let ds = inv.add_datastore(DatastoreSpec::new("ds", 1e6, 200.0));
+        for i in 0..hosts {
+            let h = inv.add_host(HostSpec::new(format!("h{i}"), 48_000, 262_144));
+            inv.connect_host_datastore(h, ds).unwrap();
+        }
+        let residency = TemplateResidency::new();
+        g.bench_function(format!("scan-{hosts}-hosts"), |b| {
+            let mut placer = Placer::default();
+            b.iter(|| black_box(placer.place(&inv, &residency, 10.0, 1024, None)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_clone_tree(c: &mut Criterion) {
+    c.bench_function("storage/linked-clone-tree-256", |b| {
+        b.iter(|| {
+            let mut inv = Inventory::new();
+            let ds = inv.add_datastore(DatastoreSpec::new("ds", 1e6, 200.0));
+            let mut pool = StoragePool::new();
+            let base = pool.create_base(&mut inv, ds, 40.0).unwrap();
+            let deltas: Vec<_> = (0..256)
+                .map(|_| pool.create_delta(&mut inv, base, 1.0).unwrap())
+                .collect();
+            for d in deltas {
+                pool.detach(&mut inv, d).unwrap();
+            }
+            black_box(pool.len())
+        });
+    });
+}
+
+/// Drives one operation through the full plane (control path only).
+fn drive_one(plane: &mut ControlPlane, op: OpKind) {
+    let mut queue: EventQueue<MgmtEvent> = EventQueue::new();
+    for e in plane.submit(SimTime::ZERO, op) {
+        if let Emit::At(t, ev) = e {
+            queue.schedule(t, ev);
+        }
+    }
+    while let Some((t, ev)) = queue.pop() {
+        for e in plane.handle(t, ev) {
+            if let Emit::At(t2, ev2) = e {
+                queue.schedule(t2, ev2);
+            }
+        }
+    }
+}
+
+fn bench_op_round_trip(c: &mut Criterion) {
+    c.bench_function("plane/linked-clone-round-trip", |b| {
+        b.iter_batched(
+            || {
+                let mut plane =
+                    ControlPlane::new(ControlPlaneConfig::default(), Streams::new(7));
+                let ds = plane.add_datastore(DatastoreSpec::new("ds", 4096.0, 200.0));
+                let h = plane.add_host(HostSpec::new("h", 48_000, 262_144));
+                plane.connect(h, ds).unwrap();
+                let t = plane
+                    .install_template("t", VmSpec::new(1, 1024, 10.0), h, ds)
+                    .unwrap();
+                (plane, t)
+            },
+            |(mut plane, t)| {
+                drive_one(
+                    &mut plane,
+                    OpKind::CloneVm {
+                        source: t,
+                        mode: CloneMode::Linked,
+                    },
+                );
+                black_box(plane.stats().completed())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_placement_scan, bench_clone_tree, bench_op_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Harness support for the `repro` binary: argument parsing and table
+//! output (stdout markdown + optional CSV directory).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use cpsim::experiments::{all, ExpOptions, Experiment};
+use cpsim_metrics::Table;
+
+/// Parsed command line of the `repro` binary.
+#[derive(Debug, Default)]
+pub struct Cli {
+    /// Experiment ids to run; empty = all.
+    pub ids: Vec<String>,
+    /// Quick mode.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: Option<u64>,
+    /// Directory to write CSV copies into.
+    pub csv_dir: Option<PathBuf>,
+    /// Print help and exit.
+    pub help: bool,
+}
+
+impl Cli {
+    /// Parses arguments (everything after argv[0]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" | "-q" => cli.quick = true,
+                "--help" | "-h" => cli.help = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cli.seed = Some(v.parse().map_err(|_| format!("bad seed: {v}"))?);
+                }
+                "--csv" => {
+                    let v = it.next().ok_or("--csv needs a directory")?;
+                    cli.csv_dir = Some(PathBuf::from(v));
+                }
+                s if s.starts_with('-') => return Err(format!("unknown flag: {s}")),
+                id => cli.ids.push(id.to_string()),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The experiment options implied by the flags.
+    pub fn options(&self) -> ExpOptions {
+        let mut opts = if self.quick {
+            ExpOptions::quick()
+        } else {
+            ExpOptions::default()
+        };
+        if let Some(seed) = self.seed {
+            opts.seed = seed;
+        }
+        opts
+    }
+
+    /// Resolves the experiments to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming any unknown id.
+    pub fn select(&self) -> Result<Vec<Experiment>, String> {
+        let registry = all();
+        if self.ids.is_empty() {
+            return Ok(registry);
+        }
+        let mut picked = Vec::new();
+        for id in &self.ids {
+            let found = all()
+                .into_iter()
+                .find(|e| e.id == id.trim_start_matches("repro-"))
+                .ok_or_else(|| {
+                    let known: Vec<&str> = registry.iter().map(|e| e.id).collect();
+                    format!("unknown experiment '{id}'; known: {}", known.join(", "))
+                })?;
+            picked.push(found);
+        }
+        Ok(picked)
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    let ids: Vec<String> = all()
+        .iter()
+        .map(|e| format!("  {:4} {}", e.id, e.title))
+        .collect();
+    format!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         USAGE: repro [IDS...] [--quick] [--seed N] [--csv DIR]\n\n\
+         Experiments (default: all):\n{}\n",
+        ids.join("\n")
+    )
+}
+
+/// Runs the selected experiments, printing tables and optionally saving
+/// CSVs.
+///
+/// # Errors
+///
+/// Propagates CSV I/O failures.
+pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let opts = cli.options();
+    if let Some(dir) = &cli.csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    for exp in cli.select()? {
+        writeln!(out, "==> [{}] {}", exp.id, exp.title).map_err(|e| e.to_string())?;
+        let started = std::time::Instant::now();
+        let tables: Vec<Table> = (exp.run)(&opts);
+        for (i, table) in tables.iter().enumerate() {
+            writeln!(out, "\n{table}").map_err(|e| e.to_string())?;
+            if let Some(dir) = &cli.csv_dir {
+                let path = dir.join(format!("{}_{}.csv", exp.id, i));
+                let mut f = std::fs::File::create(&path)
+                    .map_err(|e| format!("creating {}: {e}", path.display()))?;
+                f.write_all(table.to_csv().as_bytes())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        writeln!(out, "    ({:.1}s wall)", started.elapsed().as_secs_f64())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        let cli = Cli::parse(
+            ["t1", "--quick", "--seed", "9", "--csv", "/tmp/x"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.ids, vec!["t1"]);
+        assert!(cli.quick);
+        assert_eq!(cli.seed, Some(9));
+        assert_eq!(cli.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(cli.options().seed, 9);
+        assert!(cli.options().quick);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Cli::parse(["--bogus".to_string()]).is_err());
+        assert!(Cli::parse(["--seed".to_string()]).is_err());
+        assert!(Cli::parse(["--seed".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn select_all_by_default() {
+        let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
+        assert_eq!(cli.select().unwrap().len(), 13);
+    }
+
+    #[test]
+    fn select_by_id_and_prefix_form() {
+        let cli = Cli::parse(["repro-f4".to_string()]).unwrap();
+        let picked = cli.select().unwrap();
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].id, "f4");
+        let cli = Cli::parse(["nope".to_string()]).unwrap();
+        assert!(cli.select().is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_id() {
+        let u = usage();
+        for e in cpsim::experiments::all() {
+            assert!(u.contains(e.id));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The self-service cloud layer (vCloud-Director-style) on top of the
+//! management control plane.
+//!
+//! Cloud users do not submit individual management operations; they submit
+//! *requests* — "instantiate a vApp of 8 VMs from this catalog template",
+//! "delete that vApp" — which the [`CloudDirector`] translates into chains
+//! of management [`Operation`](cpsim_mgmt::Operation)s: clone → fencing
+//! reconfigure → power-on per VM, power-off → destroy on teardown, and so
+//! on. This fan-out (one request, many operations) is precisely why cloud
+//! workflows stress the management control plane differently from classic
+//! datacenter administration.
+//!
+//! The director also owns the *cloud reconfiguration* workflows the paper
+//! highlights: redistributing template copies across datastores and
+//! absorbing new datastores/hosts into the cloud while serving load.
+//!
+//! Like the plane, the director is a passive state machine: the simulation
+//! driver feeds it requests and task reports and routes what it emits.
+
+pub mod director;
+pub mod request;
+pub mod vapp;
+
+pub use director::{CloudDirector, CloudOut, ProvisioningPolicy};
+pub use request::{CloudReport, CloudRequest, CloudStats};
+pub use vapp::{Org, Vapp, VappState};

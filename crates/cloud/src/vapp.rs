@@ -1,0 +1,86 @@
+//! Tenant-visible entities: organizations and vApps.
+
+use cpsim_des::SimTime;
+use cpsim_inventory::{OrgId, VmId};
+
+/// A tenant organization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Org {
+    /// Display name.
+    pub name: String,
+    /// vApps deployed by this org (by the director's vapp arena ids).
+    pub vapp_count: u64,
+}
+
+impl Org {
+    /// Creates an org.
+    pub fn new(name: impl Into<String>) -> Self {
+        Org {
+            name: name.into(),
+            vapp_count: 0,
+        }
+    }
+}
+
+/// Lifecycle state of a vApp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VappState {
+    /// Being provisioned.
+    Deploying,
+    /// All provisioning chains finished (some VMs may have failed).
+    Deployed,
+    /// Being torn down.
+    Deleting,
+}
+
+/// A group of VMs deployed together by one tenant request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vapp {
+    /// Display name.
+    pub name: String,
+    /// Owning org.
+    pub org: OrgId,
+    /// Member VMs (filled in as clones complete).
+    pub vms: Vec<VmId>,
+    /// Lifecycle state.
+    pub state: VappState,
+    /// When the vApp's lease expires (auto-delete), if any.
+    pub lease_expires: Option<SimTime>,
+    /// When deployment was requested.
+    pub created_at: SimTime,
+}
+
+impl Vapp {
+    /// Creates a deploying vApp.
+    pub fn new(name: impl Into<String>, org: OrgId, created_at: SimTime) -> Self {
+        Vapp {
+            name: name.into(),
+            org,
+            vms: Vec::new(),
+            state: VappState::Deploying,
+            lease_expires: None,
+            created_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    #[test]
+    fn vapp_starts_deploying_and_empty() {
+        let v = Vapp::new("web", OrgId::from_parts(0, 1), SimTime::ZERO);
+        assert_eq!(v.state, VappState::Deploying);
+        assert!(v.vms.is_empty());
+        assert!(v.lease_expires.is_none());
+    }
+
+    #[test]
+    fn org_counts_start_at_zero() {
+        let o = Org::new("acme");
+        assert_eq!(o.vapp_count, 0);
+        assert_eq!(o.name, "acme");
+    }
+}

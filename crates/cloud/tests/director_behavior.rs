@@ -1,0 +1,438 @@
+//! End-to-end tests of the cloud director driving the management plane.
+
+use cpsim_cloud::{CloudDirector, CloudOut, CloudReport, CloudRequest};
+use cpsim_des::{EventQueue, SimDuration, SimTime, Streams};
+use cpsim_inventory::{DatastoreSpec, HostSpec, OrgId, PowerState, VappId, VmId, VmSpec};
+use cpsim_mgmt::{CloneMode, ControlPlane, ControlPlaneConfig, Emit, MgmtEvent};
+
+enum Ev {
+    Mgmt(MgmtEvent),
+    Lease(VappId),
+}
+
+struct Sim {
+    plane: ControlPlane,
+    director: CloudDirector,
+    queue: EventQueue<Ev>,
+    reports: Vec<CloudReport>,
+}
+
+impl Sim {
+    fn route(&mut self, now: SimTime, out: CloudOut) {
+        let mut stack = vec![out];
+        while let Some(o) = stack.pop() {
+            self.reports.extend(o.reports);
+            for (t, vapp) in o.leases {
+                self.queue.schedule(t, Ev::Lease(vapp));
+            }
+            for e in o.mgmt {
+                match e {
+                    Emit::At(t, ev) => self.queue.schedule(t, Ev::Mgmt(ev)),
+                    Emit::Done(_, r) | Emit::Failed(_, r) => {
+                        stack.push(self.director.on_task_report(now, &r, &mut self.plane));
+                    }
+                }
+            }
+        }
+    }
+
+    fn submit(&mut self, now: SimTime, req: CloudRequest) -> u64 {
+        let (wf, out) = self.director.submit(now, req, &mut self.plane);
+        self.route(now, out);
+        wf
+    }
+
+    fn run_until(&mut self, horizon: SimTime) {
+        let mut guard = 0u64;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > horizon {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "event storm");
+            match ev {
+                Ev::Mgmt(ev) => {
+                    let emits = self.plane.handle(t, ev);
+                    let out = CloudOut {
+                        mgmt: emits,
+                        ..Default::default()
+                    };
+                    self.route(t, out);
+                }
+                Ev::Lease(vapp) => {
+                    let out = self.director.on_lease_expiry(t, vapp, &mut self.plane);
+                    self.route(t, out);
+                }
+            }
+        }
+    }
+}
+
+fn sim() -> (Sim, OrgId, VmId) {
+    let mut cfg = ControlPlaneConfig::default();
+    cfg.heartbeat = cpsim_hostagent::HeartbeatSpec::disabled();
+    let mut plane = ControlPlane::new(cfg, Streams::new(11));
+    let ds0 = plane.add_datastore(DatastoreSpec::new("ds0", 4096.0, 200.0));
+    let ds1 = plane.add_datastore(DatastoreSpec::new("ds1", 4096.0, 200.0));
+    let mut hosts = Vec::new();
+    for i in 0..4 {
+        let h = plane.add_host(HostSpec::new(format!("h{i}"), 48_000, 262_144));
+        plane.connect(h, ds0).unwrap();
+        plane.connect(h, ds1).unwrap();
+        hosts.push(h);
+    }
+    let template = plane
+        .install_template("centos-6", VmSpec::new(2, 2_048, 20.0), hosts[0], ds0)
+        .unwrap();
+    let mut director = CloudDirector::default();
+    director.register_template(template);
+    let org = director.create_org("acme");
+    (
+        Sim {
+            plane,
+            director,
+            queue: EventQueue::new(),
+            reports: Vec::new(),
+        },
+        org,
+        template,
+    )
+}
+
+const FAR: SimTime = SimTime::from_hours(48);
+
+#[test]
+fn instantiate_vapp_provisions_fences_and_powers_on() {
+    let (mut sim, org, template) = sim();
+    let wf = sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 4,
+            mode: None,
+            lease: None,
+        },
+    );
+    sim.run_until(FAR);
+    assert_eq!(sim.reports.len(), 1);
+    let r = &sim.reports[0];
+    assert_eq!(r.workflow, wf);
+    assert_eq!(r.kind, "instantiate-vapp");
+    assert!(r.is_clean(), "{} failed ops", r.ops_failed);
+    // 4 clones + 4 fencing reconfigures + 4 power-ons.
+    assert_eq!(r.ops_issued, 12);
+    let vapp = r.vapp.unwrap();
+    let v = sim.director.vapp(vapp).unwrap();
+    assert_eq!(v.vms.len(), 4);
+    assert_eq!(v.state, cpsim_cloud::VappState::Deployed);
+    for vm in &v.vms {
+        assert_eq!(
+            sim.plane.inventory().vm(*vm).unwrap().power,
+            PowerState::On
+        );
+    }
+    assert_eq!(sim.director.stats().vms_provisioned(), 4);
+    assert_eq!(sim.director.workflows_in_flight(), 0);
+}
+
+#[test]
+fn lease_expiry_tears_the_vapp_down() {
+    let (mut sim, org, template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 3,
+            mode: None,
+            lease: Some(SimDuration::from_hours(2)),
+        },
+    );
+    sim.run_until(FAR);
+    // Two reports: the instantiate and the lease-triggered delete.
+    assert_eq!(sim.reports.len(), 2);
+    assert_eq!(sim.reports[1].kind, "delete-vapp");
+    assert!(sim.reports[1].is_clean());
+    let vapp = sim.reports[0].vapp.unwrap();
+    assert!(sim.director.vapp(vapp).is_none(), "vapp gone after lease");
+    // Only the template remains.
+    assert_eq!(sim.plane.inventory().counts().vms, 1);
+    assert_eq!(sim.director.stats().vms_destroyed(), 3);
+    assert_eq!(sim.director.stats().lease_expiries(), 1);
+    // Storage reclaimed down to the template's base plus the one shadow
+    // replica that the first clone seeded on the second datastore (the
+    // losers of the shadow race were collected with their clones).
+    assert!(
+        sim.plane.storage().len() <= 2,
+        "{} disks left",
+        sim.plane.storage().len()
+    );
+    sim.plane
+        .storage()
+        .check_invariants(sim.plane.inventory())
+        .unwrap();
+}
+
+#[test]
+fn stop_and_start_cycle() {
+    let (mut sim, org, template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 2,
+            mode: None,
+            lease: None,
+        },
+    );
+    sim.run_until(FAR);
+    let vapp = sim.reports[0].vapp.unwrap();
+
+    sim.submit(SimTime::from_hours(49), CloudRequest::StopVapp { vapp });
+    sim.run_until(SimTime::from_hours(72));
+    let stop = sim.reports.last().unwrap();
+    assert_eq!(stop.kind, "stop-vapp");
+    assert_eq!(stop.ops_issued, 2);
+    for vm in &sim.director.vapp(vapp).unwrap().vms {
+        assert_eq!(sim.plane.inventory().vm(*vm).unwrap().power, PowerState::Off);
+    }
+
+    sim.submit(SimTime::from_hours(73), CloudRequest::StartVapp { vapp });
+    sim.run_until(SimTime::from_hours(96));
+    let start = sim.reports.last().unwrap();
+    assert_eq!(start.kind, "start-vapp");
+    assert!(start.is_clean());
+    for vm in &sim.director.vapp(vapp).unwrap().vms {
+        assert_eq!(sim.plane.inventory().vm(*vm).unwrap().power, PowerState::On);
+    }
+}
+
+#[test]
+fn start_on_running_vapp_completes_immediately_with_no_ops() {
+    let (mut sim, org, template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 2,
+            mode: None,
+            lease: None,
+        },
+    );
+    sim.run_until(FAR);
+    let vapp = sim.reports[0].vapp.unwrap();
+    let before = sim.reports.len();
+    sim.submit(SimTime::from_hours(49), CloudRequest::StartVapp { vapp });
+    // No events needed: the report must already be there.
+    assert_eq!(sim.reports.len(), before + 1);
+    assert_eq!(sim.reports.last().unwrap().ops_issued, 0);
+}
+
+#[test]
+fn delete_vapp_powers_off_then_destroys() {
+    let (mut sim, org, template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 3,
+            mode: None,
+            lease: None,
+        },
+    );
+    sim.run_until(FAR);
+    let vapp = sim.reports[0].vapp.unwrap();
+    sim.submit(SimTime::from_hours(49), CloudRequest::DeleteVapp { vapp });
+    sim.run_until(SimTime::from_hours(96));
+    let del = sim.reports.last().unwrap();
+    assert_eq!(del.kind, "delete-vapp");
+    assert!(del.is_clean(), "{} failed", del.ops_failed);
+    // 3 power-offs + 3 destroys.
+    assert_eq!(del.ops_issued, 6);
+    assert!(sim.director.vapp(vapp).is_none());
+    assert_eq!(sim.plane.inventory().counts().vms, 1);
+}
+
+#[test]
+fn recompose_grows_the_vapp() {
+    let (mut sim, org, template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 2,
+            mode: None,
+            lease: None,
+        },
+    );
+    sim.run_until(FAR);
+    let vapp = sim.reports[0].vapp.unwrap();
+    sim.submit(
+        SimTime::from_hours(49),
+        CloudRequest::RecomposeVapp {
+            vapp,
+            add: 3,
+            template,
+        },
+    );
+    sim.run_until(SimTime::from_hours(96));
+    assert_eq!(sim.director.vapp(vapp).unwrap().vms.len(), 5);
+}
+
+#[test]
+fn redistribute_template_seeds_missing_datastores() {
+    let (mut sim, _org, template) = sim();
+    // Template starts resident only on its home datastore.
+    assert_eq!(sim.plane.residency().replica_count(template), 1);
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::RedistributeTemplate { template },
+    );
+    sim.run_until(FAR);
+    let r = sim.reports.last().unwrap();
+    assert_eq!(r.kind, "redistribute-template");
+    assert_eq!(r.ops_issued, 1, "one datastore was missing the template");
+    assert!(r.is_clean());
+    assert_eq!(sim.plane.residency().replica_count(template), 2);
+
+    // Redistributing again is a no-op.
+    sim.submit(
+        SimTime::from_hours(49),
+        CloudRequest::RedistributeTemplate { template },
+    );
+    assert_eq!(sim.reports.last().unwrap().ops_issued, 0);
+}
+
+#[test]
+fn add_datastore_rescans_hosts_and_seeds_catalog() {
+    let (mut sim, _org, template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::AddDatastore {
+            spec: DatastoreSpec::new("ds-new", 8192.0, 200.0),
+            seed_templates: true,
+        },
+    );
+    sim.run_until(FAR);
+    let r = sim.reports.last().unwrap();
+    assert_eq!(r.kind, "add-datastore");
+    // 4 host rescans + 1 template seed.
+    assert_eq!(r.ops_issued, 5);
+    assert!(r.is_clean(), "{} failed", r.ops_failed);
+    assert_eq!(sim.plane.inventory().counts().datastores, 3);
+    assert_eq!(sim.plane.residency().replica_count(template), 2);
+}
+
+#[test]
+fn add_host_through_cloud_workflow() {
+    let (mut sim, _org, _template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::AddHost {
+            spec: HostSpec::new("h-new", 48_000, 262_144),
+        },
+    );
+    sim.run_until(FAR);
+    let r = sim.reports.last().unwrap();
+    assert_eq!(r.kind, "add-host-cloud");
+    assert!(r.is_clean());
+    assert_eq!(sim.plane.inventory().counts().hosts, 5);
+}
+
+#[test]
+fn rebalance_moves_vms_off_the_hot_datastore() {
+    let (mut sim, org, template) = sim();
+    // Build up a population with full clones (placement spreads them, so
+    // force pressure by deploying a lot and then filling ds0's ledger).
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: 8,
+            mode: Some(CloneMode::Full),
+            lease: None,
+        },
+    );
+    sim.run_until(FAR);
+    // Find the fuller datastore and declare a tight target under it.
+    let (hot, hot_util) = sim
+        .plane
+        .inventory()
+        .datastores()
+        .map(|(id, d)| (id, d.utilization()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    assert!(hot_util > 0.0);
+    let target = hot_util * 0.5;
+    sim.submit(
+        SimTime::from_hours(49),
+        CloudRequest::RebalanceDatastores {
+            target_utilization: target,
+        },
+    );
+    sim.run_until(SimTime::from_hours(96));
+    let report = sim.reports.last().unwrap();
+    assert_eq!(report.kind, "rebalance-datastores");
+    assert!(report.ops_issued > 0, "rebalance must move something");
+    assert!(report.is_clean(), "{} failed", report.ops_failed);
+    let after = sim.plane.inventory().datastore(hot).unwrap().utilization();
+    assert!(
+        after < hot_util,
+        "hot datastore should drain: {hot_util:.3} -> {after:.3}"
+    );
+    sim.plane
+        .storage()
+        .check_invariants(sim.plane.inventory())
+        .unwrap();
+}
+
+#[test]
+fn rebalance_on_balanced_cloud_is_a_noop() {
+    let (mut sim, _org, _template) = sim();
+    sim.submit(
+        SimTime::ZERO,
+        CloudRequest::RebalanceDatastores {
+            target_utilization: 0.9,
+        },
+    );
+    let report = sim.reports.last().unwrap();
+    assert_eq!(report.kind, "rebalance-datastores");
+    assert_eq!(report.ops_issued, 0);
+}
+
+#[test]
+fn full_clone_policy_is_slower_than_linked() {
+    let latency_with = |mode: CloneMode| -> f64 {
+        let (mut sim, org, template) = sim();
+        // Pre-seed the catalog everywhere so linked clones measure the
+        // control path, not a first-use shadow copy.
+        let all: Vec<_> = sim.plane.inventory().datastores().map(|(id, _)| id).collect();
+        for ds in all {
+            let _ = sim.plane.seed_template_now(template, ds);
+        }
+        sim.submit(
+            SimTime::ZERO,
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 4,
+                mode: Some(mode),
+                lease: None,
+            },
+        );
+        sim.run_until(FAR);
+        sim.reports[0].latency.as_secs_f64()
+    };
+    let linked = latency_with(CloneMode::Linked);
+    let full = latency_with(CloneMode::Full);
+    assert!(
+        full > 4.0 * linked,
+        "full {full:.0}s should dwarf linked {linked:.0}s"
+    );
+}

@@ -1,0 +1,116 @@
+//! F7 — Figure 7: end-to-end vApp deployment latency vs vApp size under
+//! different admission-limit configurations.
+//!
+//! A vApp of N VMs fans out into N parallel provisioning chains; per-host
+//! and per-datastore concurrency caps serialize them. The figure shows
+//! deploy latency growing with N and how widening (or removing) the
+//! limits changes the curve — the knob the paper says cloud operators
+//! must revisit.
+
+use cpsim_cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim_des::{SimDuration, SimTime};
+use cpsim_metrics::Table;
+use cpsim_mgmt::{AdmissionLimits, CloneMode, ControlPlaneConfig};
+
+use crate::experiments::loops::load_topology;
+use crate::experiments::{fmt, ExpOptions};
+use crate::Scenario;
+
+fn configs() -> Vec<(&'static str, AdmissionLimits)> {
+    vec![
+        // 640 global / 8 per host / 128 per datastore.
+        ("default", AdmissionLimits::default()),
+        (
+            "wide-host",
+            AdmissionLimits {
+                per_host: 32,
+                ..AdmissionLimits::default()
+            },
+        ),
+        (
+            "narrow-datastore",
+            AdmissionLimits {
+                per_datastore: 2,
+                ..AdmissionLimits::default()
+            },
+        ),
+        ("unlimited", AdmissionLimits::unlimited()),
+    ]
+}
+
+/// Runs F7.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let sizes: Vec<u32> = opts.pick(vec![1, 2, 4, 8, 16, 32, 64], vec![1, 8, 32]);
+    let mut table = Table::new(
+        "F7 — vApp deployment latency vs size (seconds, linked clones)",
+        &[
+            "vApp size",
+            "default limits",
+            "wide-host",
+            "narrow-datastore",
+            "unlimited",
+        ],
+    );
+    for &size in &sizes {
+        let mut row = vec![size.to_string()];
+        for (_, limits) in configs() {
+            let mut config = ControlPlaneConfig::default();
+            config.limits = limits;
+            let latency = deploy_once(opts.seed, config, size);
+            row.push(fmt(latency));
+        }
+        table.row(row);
+    }
+    vec![table]
+}
+
+/// Deploys one vApp of `size` VMs on an idle cloud; returns the
+/// end-to-end latency in seconds.
+fn deploy_once(seed: u64, config: ControlPlaneConfig, size: u32) -> f64 {
+    let mut sim = Scenario::bare(load_topology())
+        .seed(seed)
+        .config(config)
+        .policy(ProvisioningPolicy {
+            mode: CloneMode::Linked,
+            fencing: true,
+            power_on: true,
+        })
+        .build();
+    let template = sim.templates()[0];
+    let org = sim.org();
+    sim.schedule_request(
+        SimTime::from_secs(1),
+        CloudRequest::InstantiateVapp {
+            org,
+            template,
+            count: size,
+            mode: None,
+            lease: None,
+        },
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_hours(6));
+    let report = sim
+        .cloud_reports()
+        .iter()
+        .find(|r| r.kind == "instantiate-vapp")
+        .expect("deployment completes within the horizon");
+    assert!(report.is_clean(), "{} failed ops", report.ops_failed);
+    report.latency.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f7_latency_grows_with_size_and_limits_matter() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let cell = |row: usize, col: usize| -> f64 { t.rows()[row][col].parse().unwrap() };
+        let last = t.len() - 1;
+        // Bigger vApps deploy slower.
+        assert!(cell(last, 1) > cell(0, 1));
+        // Removing limits can only help (or tie) at the largest size.
+        assert!(cell(last, 4) <= cell(last, 1) * 1.05);
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared load-driving helpers: closed-loop (fixed outstanding requests)
+//! and open-loop (fixed arrival rate) provisioning drivers.
+
+use cpsim_cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim_des::{SimDuration, SimTime};
+use cpsim_mgmt::{CloneMode, ControlPlaneConfig};
+use cpsim_workload::Topology;
+
+use crate::{CloudSim, Scenario};
+
+/// The topology used by the load experiments: mid-sized, fully seeded, so
+/// linked clones are pure control-plane work.
+pub fn load_topology() -> Topology {
+    Topology {
+        hosts: 16,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 524_288,
+        datastores: 8,
+        ds_capacity_gb: 16_384.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("load-template".into(), 2, 2_048, 20.0)],
+        seed_templates_everywhere: true,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+/// Provisioning policy for load experiments: fencing on, power-on off
+/// (keeps memory capacity out of the throughput measurement; the paper's
+/// metric is deployment rate).
+pub fn load_policy() -> ProvisioningPolicy {
+    ProvisioningPolicy {
+        mode: CloneMode::Linked,
+        fencing: true,
+        power_on: false,
+    }
+}
+
+/// Result of a load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadResult {
+    /// VMs provisioned per hour during the measurement window.
+    pub vms_per_hour: f64,
+    /// Management CPU utilization over the run.
+    pub cpu_util: f64,
+    /// Database utilization over the run.
+    pub db_util: f64,
+    /// Mean datastore busy fraction over the run.
+    pub ds_busy: f64,
+    /// Mean host-agent utilization over the run.
+    pub agent_util: f64,
+    /// Peak admission pending-queue length.
+    pub pending_peak: usize,
+    /// Mean end-to-end instantiate latency (seconds) in the window.
+    pub mean_latency_s: f64,
+    /// Failed operations over the run.
+    pub failures: u64,
+}
+
+/// Runs a closed loop: `n` single-VM instantiate requests always
+/// outstanding; each completion triggers a delete of the deployed vApp and
+/// a fresh instantiate (steady-state churn).
+pub fn closed_loop(
+    seed: u64,
+    config: ControlPlaneConfig,
+    mode: CloneMode,
+    n: u32,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> LoadResult {
+    let mut sim = Scenario::bare(load_topology())
+        .seed(seed)
+        .config(config)
+        .policy(load_policy())
+        .build();
+    let template = sim.templates()[0];
+    let org = sim.org();
+    let make = |sim: &mut CloudSim, at: SimTime| {
+        sim.schedule_request(
+            at,
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(mode),
+                lease: None,
+            },
+        );
+    };
+    for i in 0..n {
+        make(&mut sim, SimTime::from_micros(u64::from(i) + 1));
+    }
+
+    let end = SimTime::ZERO + warmup + measure;
+    let slice = SimDuration::from_secs(15);
+    let mut handled = 0usize;
+    let mut completed_in_window = 0u64;
+    let mut latency_sum = 0.0;
+    let mut latency_n = 0u64;
+    while sim.now() < end {
+        sim.run_for(slice);
+        let now = sim.now();
+        let reports: Vec<(usize, &'static str, f64, bool)> = sim.cloud_reports()[handled..]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    handled + i,
+                    r.kind,
+                    r.latency.as_secs_f64(),
+                    // Throughput is counted by completion time: under a
+                    // deep backlog everything in the window was submitted
+                    // long before it.
+                    r.completed_at >= SimTime::ZERO + warmup,
+                )
+            })
+            .collect();
+        handled += reports.len();
+        for (idx, kind, latency, in_window) in reports {
+            if kind != "instantiate-vapp" {
+                continue;
+            }
+            if in_window {
+                completed_in_window += 1;
+                latency_sum += latency;
+                latency_n += 1;
+            }
+            // Tear down what we built and keep the loop closed.
+            let vapp = sim.cloud_reports()[idx].vapp;
+            if let Some(vapp) = vapp {
+                sim.schedule_request(now, CloudRequest::DeleteVapp { vapp });
+            }
+            make(&mut sim, now);
+        }
+    }
+
+    let now = sim.now();
+    let ds_busy = sim
+        .datastores()
+        .iter()
+        .map(|d| sim.plane().datastore_busy(*d, now))
+        .sum::<f64>()
+        / sim.datastores().len().max(1) as f64;
+    LoadResult {
+        vms_per_hour: completed_in_window as f64 / measure.as_secs_f64() * 3_600.0,
+        cpu_util: sim.plane().cpu_utilization(now),
+        db_util: sim.plane().db_utilization(now),
+        ds_busy,
+        agent_util: sim.plane().mean_agent_utilization(now),
+        pending_peak: sim.plane().admission().peak_pending(),
+        mean_latency_s: if latency_n == 0 {
+            0.0
+        } else {
+            latency_sum / latency_n as f64
+        },
+        failures: sim.plane().stats().failed(),
+    }
+}
+
+/// Runs an open loop: single-VM linked instantiates arriving every
+/// `interval` for `duration`, then measures utilizations and latency.
+pub fn open_loop(
+    seed: u64,
+    config: ControlPlaneConfig,
+    interval: SimDuration,
+    duration: SimDuration,
+) -> (LoadResult, CloudSim) {
+    let mut sim = Scenario::bare(load_topology())
+        .seed(seed)
+        .config(config)
+        .policy(load_policy())
+        .build();
+    sim.keep_task_reports(true);
+    let template = sim.templates()[0];
+    let org = sim.org();
+    let mut t = SimTime::ZERO + SimDuration::from_secs(1);
+    let end = SimTime::ZERO + duration;
+    let mut offered = 0u64;
+    while t < end {
+        sim.schedule_request(
+            t,
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(CloneMode::Linked),
+                lease: None,
+            },
+        );
+        offered += 1;
+        t += interval;
+    }
+    sim.run_until(end);
+    let now = sim.now();
+    let completed: Vec<f64> = sim
+        .cloud_reports()
+        .iter()
+        .filter(|r| r.kind == "instantiate-vapp")
+        .map(|r| r.latency.as_secs_f64())
+        .collect();
+    let ds_busy = sim
+        .datastores()
+        .iter()
+        .map(|d| sim.plane().datastore_busy(*d, now))
+        .sum::<f64>()
+        / sim.datastores().len().max(1) as f64;
+    let result = LoadResult {
+        vms_per_hour: completed.len() as f64 / duration.as_secs_f64() * 3_600.0,
+        cpu_util: sim.plane().cpu_utilization(now),
+        db_util: sim.plane().db_utilization(now),
+        ds_busy,
+        agent_util: sim.plane().mean_agent_utilization(now),
+        pending_peak: sim.plane().admission().peak_pending(),
+        mean_latency_s: if completed.is_empty() {
+            0.0
+        } else {
+            completed.iter().sum::<f64>() / completed.len() as f64
+        },
+        failures: sim.plane().stats().failed(),
+    };
+    debug_assert!(offered > 0, "open loop offered no work");
+    (result, sim)
+}

@@ -1,0 +1,195 @@
+//! Experiment drivers: one module per table/figure of the reproduced
+//! paper's evaluation (reconstructed — see `DESIGN.md`).
+//!
+//! Every experiment is a pure function from an [`ExpOptions`] to
+//! [`Table`](cpsim_metrics::Table)s, so the `cpsim-bench` binary, the
+//! examples, and the integration tests all share one implementation.
+//!
+//! | Id  | Module | Claim substantiated |
+//! |-----|--------|---------------------|
+//! | T1  | [`t1_environments`] | the two clouds' scale and activity |
+//! | F1  | [`f1_opmix`] | cloud op mixes differ from enterprise |
+//! | F2  | [`f2_arrivals`] | self-service arrivals are bursty |
+//! | F3  | [`f3_latency_split`] | control- vs data-plane latency per op |
+//! | F4  | [`f4_throughput`] | linked clones shift the bottleneck |
+//! | F5  | [`f5_utilization`] | control plane saturates first |
+//! | F6  | [`f6_lifetimes`] | cloud VMs are short-lived |
+//! | F7  | [`f7_vapp_scaling`] | admission limits shape deploy latency |
+//! | F8  | [`f8_reconfig`] | reconfiguration cost and interference |
+//! | F9  | [`f9_queueing`] | queueing delays grow with load |
+//! | T2  | [`t2_breakdown`] | per-phase control-plane cost |
+//! | F10 | [`f10_scaleout`] | scale-out / DB batching ablation |
+//! | F11 | [`f11_heartbeat`] | background load scales with hosts |
+
+pub mod f10_scaleout;
+pub mod f11_heartbeat;
+pub mod f1_opmix;
+pub(crate) mod loops;
+pub(crate) mod probe;
+pub mod f2_arrivals;
+pub mod f3_latency_split;
+pub mod f4_throughput;
+pub mod f5_utilization;
+pub mod f6_lifetimes;
+pub mod f7_vapp_scaling;
+pub mod f8_reconfig;
+pub mod f9_queueing;
+pub mod t1_environments;
+pub mod t2_breakdown;
+
+use cpsim_metrics::Table;
+
+/// Options shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOptions {
+    /// Master seed.
+    pub seed: u64,
+    /// Quick mode: shorter horizons and smaller sweeps (used by tests);
+    /// full mode reproduces the figures at publication scale.
+    pub quick: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            seed: 2013,
+            quick: false,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode options for tests.
+    pub fn quick() -> Self {
+        ExpOptions {
+            seed: 2013,
+            quick: true,
+        }
+    }
+
+    /// Picks `full` or `q` depending on the mode.
+    pub fn pick<T>(&self, full: T, q: T) -> T {
+        if self.quick {
+            q
+        } else {
+            full
+        }
+    }
+}
+
+/// An experiment id paired with its runner, for the harness.
+pub struct Experiment {
+    /// Short id, e.g. `"t1"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Runner.
+    pub run: fn(&ExpOptions) -> Vec<Table>,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "t1",
+            title: "Table I: characteristics of the two cloud environments",
+            run: t1_environments::run,
+        },
+        Experiment {
+            id: "f1",
+            title: "Figure 1: management operation mix, clouds vs enterprise",
+            run: f1_opmix::run,
+        },
+        Experiment {
+            id: "f2",
+            title: "Figure 2: request arrival rate over a day",
+            run: f2_arrivals::run,
+        },
+        Experiment {
+            id: "f3",
+            title: "Figure 3: per-operation latency, control vs data plane",
+            run: f3_latency_split::run,
+        },
+        Experiment {
+            id: "f4",
+            title: "Figure 4: provisioning throughput vs concurrency",
+            run: f4_throughput::run,
+        },
+        Experiment {
+            id: "f5",
+            title: "Figure 5: control-plane utilization vs provisioning rate",
+            run: f5_utilization::run,
+        },
+        Experiment {
+            id: "f6",
+            title: "Figure 6: VM lifetime distributions",
+            run: f6_lifetimes::run,
+        },
+        Experiment {
+            id: "f7",
+            title: "Figure 7: vApp deployment latency vs size under limits",
+            run: f7_vapp_scaling::run,
+        },
+        Experiment {
+            id: "f8",
+            title: "Figure 8: cloud reconfiguration cost and interference",
+            run: f8_reconfig::run,
+        },
+        Experiment {
+            id: "f9",
+            title: "Figure 9: task queueing-delay distribution vs load",
+            run: f9_queueing::run,
+        },
+        Experiment {
+            id: "t2",
+            title: "Table II: control-plane cost breakdown by phase",
+            run: t2_breakdown::run,
+        },
+        Experiment {
+            id: "f10",
+            title: "Figure 10: scale-out and DB-batching ablation",
+            run: f10_scaleout::run,
+        },
+        Experiment {
+            id: "f11",
+            title: "Figure 11: heartbeat/background load vs inventory size",
+            run: f11_heartbeat::run,
+        },
+    ]
+}
+
+/// Formats a float with scale-appropriate precision for table cells.
+pub(crate) fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1234.6), "1235");
+    }
+}

@@ -1,0 +1,74 @@
+//! T2 — Table II: per-operation control-plane cost breakdown by phase.
+//!
+//! For each operation kind, the mean service time spent in each
+//! control-plane phase (API ingress, placement, DB statements, host
+//! primitives, finalization) — the cost model the paper's analysis of
+//! management overhead rests on.
+
+use std::collections::BTreeMap;
+
+use cpsim_metrics::Table;
+
+use crate::experiments::probe::run_probe;
+use crate::experiments::{fmt, ExpOptions};
+
+/// Runs T2.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let sim = run_probe(opts);
+    let stats = sim.plane().stats();
+
+    // Completion counts per kind, to express phase totals as per-op means.
+    let completed: BTreeMap<&str, u64> = stats
+        .kinds()
+        .map(|(k, ks)| (k, ks.completed + ks.failed))
+        .collect();
+
+    let mut table = Table::new(
+        "T2 — Control-plane cost breakdown by phase (mean ms per operation)",
+        &["operation", "class", "phase", "mean ms", "invocations/op"],
+    );
+    for (kind, class, label, total_secs, count) in stats.phase_totals() {
+        if class == "data-transfer" {
+            continue; // T2 covers the control plane; data is in F3.
+        }
+        let ops = completed.get(kind).copied().unwrap_or(0).max(1);
+        table.row([
+            kind.to_string(),
+            class.to_string(),
+            label.to_string(),
+            fmt(total_secs / count.max(1) as f64 * 1_000.0),
+            fmt(count as f64 / ops as f64),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_covers_key_phases() {
+        let tables = run(&ExpOptions::quick());
+        let t = &tables[0];
+        let has = |kind: &str, label: &str| {
+            t.rows().iter().any(|r| r[0] == kind && r[2] == label)
+        };
+        assert!(has("clone-linked", "api-ingress"));
+        assert!(has("clone-linked", "placement"));
+        assert!(has("clone-linked", "insert-vm"));
+        assert!(has("power-on", "power-on-vm"));
+        assert!(has("destroy-vm", "delete-records"));
+        // No data-transfer rows in the control-plane table.
+        assert!(t.rows().iter().all(|r| r[1] != "data-transfer"));
+        // DB insert is the heaviest single DB phase for clones.
+        let ms = |kind: &str, label: &str| -> f64 {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == kind && r[2] == label)
+                .map(|r| r[3].parse().unwrap())
+                .unwrap()
+        };
+        assert!(ms("clone-linked", "insert-vm") > ms("clone-linked", "task-record"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The simulation driver: pops events in `(time, seq)` order and hands them
+//! to a [`Model`].
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulated system: owns the state and reacts to events.
+///
+/// Handlers receive the event queue so they can schedule follow-up events;
+/// they must never schedule into the past (enforced by [`Simulation`]).
+pub trait Model {
+    /// The event vocabulary of this model.
+    type Event;
+
+    /// Reacts to `event` occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a call to [`Simulation::run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (see [`Simulation::set_event_limit`]).
+    EventLimit,
+}
+
+/// A running simulation: a [`Model`] plus its event queue and clock.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    processed: u64,
+    event_limit: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Schedules an initial event. Usable before and between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current simulation time.
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.schedule(time, event);
+    }
+
+    /// Caps the total number of events processed over the simulation's
+    /// lifetime; `run_*` returns [`RunOutcome::EventLimit`] when exceeded.
+    ///
+    /// This is a safety net against accidental event storms in tests.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Current simulation time (the timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The model state.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model state (for injecting external changes
+    /// between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation and returns the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Processes a single event, returning `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now, "event queue went backwards");
+                self.now = time;
+                self.processed += 1;
+                self.model.handle(time, event, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains, the event budget is exhausted, or the
+    /// next event would fire strictly after `horizon`.
+    ///
+    /// On return the clock is `max(now, horizon)` unless the event budget
+    /// stopped the run, so consecutive horizons compose:
+    /// `run_until(a); run_until(b)` with `a <= b` is equivalent to
+    /// `run_until(b)`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.next_time() {
+                Some(t) if t <= horizon => {
+                    if self.processed >= self.event_limit {
+                        return RunOutcome::EventLimit;
+                    }
+                    self.step();
+                }
+                Some(_) => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                None => {
+                    if self.now < horizon {
+                        self.now = horizon;
+                    }
+                    return RunOutcome::Drained;
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty (or the event budget is hit).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        loop {
+            if self.queue.is_empty() {
+                return RunOutcome::Drained;
+            }
+            if self.processed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            self.step();
+        }
+    }
+}
+
+impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("pending", &self.queue.len())
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Default)]
+    struct Counter {
+        seen: Vec<(SimTime, u32)>,
+        respawn: bool,
+    }
+
+    enum Ev {
+        N(u32),
+    }
+
+    impl Model for Counter {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, Ev::N(n): Ev, queue: &mut EventQueue<Ev>) {
+            self.seen.push((now, n));
+            if self.respawn && n < 10 {
+                queue.schedule(now + SimDuration::from_secs(1), Ev::N(n + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new(Counter {
+            respawn: true,
+            ..Default::default()
+        });
+        sim.schedule(SimTime::ZERO, Ev::N(0));
+        let outcome = sim.run_until(SimTime::from_secs(4));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.model().seen.len(), 5); // events at t = 0..=4
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+
+        // Continuing to a later horizon picks up where we left off.
+        let outcome = sim.run_until(SimTime::from_secs(100));
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(sim.model().seen.len(), 11);
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn drained_advances_clock_to_horizon() {
+        let mut sim = Simulation::new(Counter::default());
+        assert_eq!(sim.run_until(SimTime::from_secs(9)), RunOutcome::Drained);
+        assert_eq!(sim.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        let mut sim = Simulation::new(Counter {
+            respawn: true,
+            ..Default::default()
+        });
+        sim.set_event_limit(3);
+        sim.schedule(SimTime::ZERO, Ev::N(0));
+        assert_eq!(sim.run_to_completion(), RunOutcome::EventLimit);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Counter::default());
+        sim.schedule(SimTime::from_secs(1), Ev::N(1));
+        sim.run_to_completion();
+        sim.schedule(SimTime::ZERO, Ev::N(0));
+    }
+
+    #[test]
+    fn step_returns_false_on_empty() {
+        let mut sim = Simulation::new(Counter::default());
+        assert!(!sim.step());
+        sim.schedule(SimTime::ZERO, Ev::N(7));
+        assert!(sim.step());
+        assert_eq!(sim.into_model().seen, vec![(SimTime::ZERO, 7)]);
+    }
+}

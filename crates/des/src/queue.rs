@@ -1,0 +1,210 @@
+//! The pending-event set: a priority queue ordered by `(time, sequence)`.
+//!
+//! The sequence number breaks ties between events scheduled for the same
+//! instant in insertion order, which makes runs fully deterministic.
+//! Cancellation is handled by the tombstone pattern: components that need to
+//! reschedule a completion carry a [`TimerToken`] in the event payload and
+//! ignore events whose token is stale (see [`TokenGen`]).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event set holding events of type `E`.
+///
+/// ```
+/// use cpsim_des::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Events at the same instant fire in the order they were scheduled.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_time", &self.next_time())
+            .finish()
+    }
+}
+
+/// An opaque cancellation token produced by [`TokenGen`].
+///
+/// A scheduled event embeds the token current at scheduling time; when the
+/// owning component reschedules, it bumps its generator, and the stale event
+/// is ignored on delivery.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TimerToken(u64);
+
+/// Generator for [`TimerToken`]s, one per logically-cancellable timer.
+///
+/// ```
+/// use cpsim_des::TokenGen;
+/// let mut gen = TokenGen::new();
+/// let first = gen.bump();
+/// assert!(gen.is_current(first));
+/// let second = gen.bump();
+/// assert!(!gen.is_current(first));
+/// assert!(gen.is_current(second));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TokenGen(u64);
+
+impl TokenGen {
+    /// Creates a generator whose initial token has never been issued.
+    pub fn new() -> Self {
+        TokenGen(0)
+    }
+
+    /// Invalidates all previously-issued tokens and returns a fresh one.
+    pub fn bump(&mut self) -> TimerToken {
+        self.0 += 1;
+        TimerToken(self.0)
+    }
+
+    /// The most recently issued token.
+    pub fn current(&self) -> TimerToken {
+        TimerToken(self.0)
+    }
+
+    /// Whether `token` is the most recently issued one.
+    pub fn is_current(&self, token: TimerToken) -> bool {
+        token.0 == self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 5);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_peeks_without_removal() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn token_gen_invalidates_older_tokens() {
+        let mut gen = TokenGen::new();
+        let a = gen.bump();
+        let b = gen.bump();
+        assert_ne!(a, b);
+        assert!(!gen.is_current(a));
+        assert!(gen.is_current(b));
+        assert_eq!(gen.current(), b);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(SimTime::from_secs(1), "c"); // earlier than "b", fine to add
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+}

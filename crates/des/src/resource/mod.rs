@@ -1,0 +1,11 @@
+//! Queueing building blocks shared by all simulated resources.
+//!
+//! These are *passive* state machines: they track occupancy and waiting
+//! work, and tell the caller what to start next; the caller owns scheduling
+//! (drawing service times and posting completion events). This keeps the
+//! resources independently testable and the kernel free of callbacks.
+
+pub mod bandwidth;
+pub mod fifo;
+pub mod slots;
+pub mod timeweighted;

@@ -1,0 +1,118 @@
+//! Time-weighted accumulation of a piecewise-constant signal, used for
+//! utilization and queue-length statistics.
+
+use crate::time::SimTime;
+
+/// Integrates a piecewise-constant value over simulated time.
+///
+/// ```
+/// use cpsim_des::{SimTime, TimeWeighted};
+/// let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// u.set(SimTime::from_secs(2), 1.0);  // 0 for 2 s
+/// u.set(SimTime::from_secs(6), 0.0);  // 1 for 4 s
+/// assert_eq!(u.mean(SimTime::from_secs(8)), 0.5); // 4 busy / 8 total
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating from `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            value,
+            integral: 0.0,
+            peak: value,
+        }
+    }
+
+    /// Updates the signal to `value` as of `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.integral += self.value * now.since(self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.value = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adjusts the signal by `delta` as of `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        self.set(now, self.value + delta);
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// The maximum value the signal has reached.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The integral of the signal from the start through `now`
+    /// (value × seconds).
+    pub fn integral(&self, now: SimTime) -> f64 {
+        self.integral + self.value * now.since(self.last_change).as_secs_f64()
+    }
+
+    /// The time-weighted mean of the signal from the start through `now`,
+    /// or the current value if no time has elapsed.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let span = now.since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            self.value
+        } else {
+            self.integral(now) / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_means_itself() {
+        let u = TimeWeighted::new(SimTime::ZERO, 3.0);
+        assert_eq!(u.mean(SimTime::from_secs(10)), 3.0);
+        assert_eq!(u.integral(SimTime::from_secs(10)), 30.0);
+    }
+
+    #[test]
+    fn step_signal_integrates_exactly() {
+        let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+        u.add(SimTime::from_secs(1), 2.0);
+        u.add(SimTime::from_secs(3), -1.0);
+        // 0 for 1 s, 2 for 2 s, 1 for 2 s => integral 6 over 5 s.
+        assert_eq!(u.integral(SimTime::from_secs(5)), 6.0);
+        assert_eq!(u.mean(SimTime::from_secs(5)), 1.2);
+        assert_eq!(u.current(), 1.0);
+        assert_eq!(u.peak(), 2.0);
+    }
+
+    #[test]
+    fn zero_span_returns_current() {
+        let u = TimeWeighted::new(SimTime::from_secs(5), 7.0);
+        assert_eq!(u.mean(SimTime::from_secs(5)), 7.0);
+    }
+
+    #[test]
+    fn nonzero_start_ignores_earlier_time() {
+        let mut u = TimeWeighted::new(SimTime::from_secs(10), 1.0);
+        u.set(SimTime::from_secs(15), 0.0);
+        assert_eq!(u.mean(SimTime::from_secs(20)), 0.5);
+    }
+}

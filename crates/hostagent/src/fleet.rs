@@ -1,0 +1,271 @@
+//! The [`AgentFleet`]: one bounded-concurrency agent per host.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cpsim_des::{FifoQueue, SimDuration, SimRng, SimTime};
+use cpsim_inventory::HostId;
+
+use crate::cost::{HostCostModel, Primitive};
+
+/// Errors raised by the agent fleet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostAgentError {
+    /// No agent registered for this host.
+    UnknownHost(HostId),
+    /// The host still has queued or running primitives.
+    HostBusy(HostId),
+}
+
+impl fmt::Display for HostAgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostAgentError::UnknownHost(id) => write!(f, "no agent for host {id}"),
+            HostAgentError::HostBusy(id) => write!(f, "host {id} has outstanding primitives"),
+        }
+    }
+}
+
+impl std::error::Error for HostAgentError {}
+
+/// A primitive that just entered service on some host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AgentStart<J> {
+    /// The caller's job token.
+    pub job: J,
+    /// The primitive now in service.
+    pub primitive: Primitive,
+    /// Sampled service time; the caller schedules the completion event
+    /// this far in the future.
+    pub service: SimDuration,
+    /// Time spent queued at the host before starting.
+    pub waited: SimDuration,
+}
+
+/// Per-host agents with bounded concurrency and FIFO overflow queues.
+pub struct AgentFleet<J> {
+    agents: BTreeMap<HostId, FifoQueue<(Primitive, J)>>,
+    cost: HostCostModel,
+    rng: SimRng,
+}
+
+impl<J> AgentFleet<J> {
+    /// Creates a fleet with the given cost model and service-time RNG.
+    pub fn new(cost: HostCostModel, rng: SimRng) -> Self {
+        AgentFleet {
+            agents: BTreeMap::new(),
+            cost,
+            rng,
+        }
+    }
+
+    /// Registers an agent for `host` executing at most `concurrency`
+    /// primitives at once. Replaces any prior agent for the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency` is zero.
+    pub fn add_host(&mut self, host: HostId, concurrency: u32) {
+        self.agents.insert(host, FifoQueue::new(concurrency));
+    }
+
+    /// Deregisters `host`'s agent.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the host is unknown or still has work outstanding.
+    pub fn remove_host(&mut self, host: HostId) -> Result<(), HostAgentError> {
+        let agent = self
+            .agents
+            .get(&host)
+            .ok_or(HostAgentError::UnknownHost(host))?;
+        if agent.in_service() > 0 || agent.queue_len() > 0 {
+            return Err(HostAgentError::HostBusy(host));
+        }
+        self.agents.remove(&host);
+        Ok(())
+    }
+
+    /// Whether `host` has an agent.
+    pub fn has_host(&self, host: HostId) -> bool {
+        self.agents.contains_key(&host)
+    }
+
+    /// Submits `primitive` to `host`'s agent. Returns `Ok(Some)` if it
+    /// starts service immediately, `Ok(None)` if it queued.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        primitive: Primitive,
+        job: J,
+    ) -> Result<Option<AgentStart<J>>, HostAgentError> {
+        let agent = self
+            .agents
+            .get_mut(&host)
+            .ok_or(HostAgentError::UnknownHost(host))?;
+        Ok(agent
+            .arrive(now, (primitive, job))
+            .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng)))
+    }
+
+    /// Reports that the primitive running on `host` finished; returns the
+    /// next queued primitive entering service, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the host is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host had nothing in service (an orchestration bug).
+    pub fn complete(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+    ) -> Result<Option<AgentStart<J>>, HostAgentError> {
+        let agent = self
+            .agents
+            .get_mut(&host)
+            .ok_or(HostAgentError::UnknownHost(host))?;
+        Ok(agent
+            .complete(now)
+            .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng)))
+    }
+
+    /// Primitives currently in service on `host`.
+    pub fn in_service(&self, host: HostId) -> u32 {
+        self.agents.get(&host).map_or(0, |a| a.in_service())
+    }
+
+    /// Primitives queued at `host`.
+    pub fn queue_len(&self, host: HostId) -> usize {
+        self.agents.get(&host).map_or(0, |a| a.queue_len())
+    }
+
+    /// Mean busy fraction of `host`'s agent through `now`.
+    pub fn utilization(&self, host: HostId, now: SimTime) -> f64 {
+        self.agents.get(&host).map_or(0.0, |a| a.utilization(now))
+    }
+
+    /// Total primitives that have entered service across all hosts.
+    pub fn served(&self) -> u64 {
+        self.agents.values().map(|a| a.served()).sum()
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &HostCostModel {
+        &self.cost
+    }
+
+    fn to_start(
+        adm: cpsim_des::resource::fifo::Admitted<(Primitive, J)>,
+        cost: &HostCostModel,
+        rng: &mut SimRng,
+    ) -> AgentStart<J> {
+        let (primitive, job) = adm.job;
+        let service = SimDuration::from_secs_f64(cost.service_dist(primitive).sample(rng));
+        AgentStart {
+            job,
+            primitive,
+            service,
+            waited: adm.waited,
+        }
+    }
+}
+
+impl<J> fmt::Debug for AgentFleet<J> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AgentFleet")
+            .field("hosts", &self.agents.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_des::{Dist, Streams};
+    use cpsim_inventory::EntityId;
+
+    fn fleet() -> (AgentFleet<u32>, HostId) {
+        let mut cost = HostCostModel::default();
+        // Deterministic costs for exact assertions.
+        cost.set(Primitive::PowerOnVm, Dist::constant(2.0).unwrap());
+        cost.set(Primitive::RegisterVm, Dist::constant(1.0).unwrap());
+        let mut f = AgentFleet::new(cost, Streams::new(5).rng(0));
+        let h = HostId::from_parts(0, 1);
+        f.add_host(h, 2);
+        (f, h)
+    }
+
+    #[test]
+    fn starts_immediately_until_concurrency_cap() {
+        let (mut f, h) = fleet();
+        let s1 = f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
+        let s2 = f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 2).unwrap();
+        let s3 = f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 3).unwrap();
+        assert!(s1.is_some() && s2.is_some());
+        assert!(s3.is_none(), "third op queues behind concurrency 2");
+        assert_eq!(f.in_service(h), 2);
+        assert_eq!(f.queue_len(h), 1);
+        assert_eq!(s1.unwrap().service, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn completion_starts_next_queued() {
+        let (mut f, h) = fleet();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 2).unwrap();
+        f.submit(SimTime::ZERO, h, Primitive::RegisterVm, 3).unwrap();
+        let next = f.complete(SimTime::from_secs(2), h).unwrap().unwrap();
+        assert_eq!(next.job, 3);
+        assert_eq!(next.primitive, Primitive::RegisterVm);
+        assert_eq!(next.waited, SimDuration::from_secs(2));
+        assert_eq!(next.service, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn hosts_are_independent() {
+        let (mut f, h1) = fleet();
+        let h2 = HostId::from_parts(1, 1);
+        f.add_host(h2, 1);
+        f.submit(SimTime::ZERO, h1, Primitive::PowerOnVm, 1).unwrap();
+        let s = f.submit(SimTime::ZERO, h2, Primitive::PowerOnVm, 2).unwrap();
+        assert!(s.is_some(), "h2 idle even though h1 busy");
+        assert_eq!(f.served(), 2);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let (mut f, _) = fleet();
+        let ghost = HostId::from_parts(9, 1);
+        assert_eq!(
+            f.submit(SimTime::ZERO, ghost, Primitive::PowerOnVm, 1),
+            Err(HostAgentError::UnknownHost(ghost))
+        );
+        assert_eq!(
+            f.complete(SimTime::ZERO, ghost),
+            Err(HostAgentError::UnknownHost(ghost))
+        );
+    }
+
+    #[test]
+    fn remove_host_requires_idle() {
+        let (mut f, h) = fleet();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
+        assert_eq!(f.remove_host(h), Err(HostAgentError::HostBusy(h)));
+        f.complete(SimTime::from_secs(2), h).unwrap();
+        f.remove_host(h).unwrap();
+        assert!(!f.has_host(h));
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let (mut f, h) = fleet();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
+        f.complete(SimTime::from_secs(2), h).unwrap();
+        // one of two slots busy for 2 s out of 4 s => 0.25
+        assert!((f.utilization(h, SimTime::from_secs(4)) - 0.25).abs() < 1e-9);
+    }
+}

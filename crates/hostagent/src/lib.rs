@@ -1,0 +1,35 @@
+//! The host-agent model: per-host execution of primitive operations with
+//! bounded concurrency, plus the periodic heartbeat/property-update traffic
+//! every host imposes on the management server.
+//!
+//! A management operation (clone, power-on, ...) decomposes into one or
+//! more host-side [`Primitive`]s. Each host runs an agent (`hostd` in the
+//! original stack) that executes at most `concurrency` primitives at once;
+//! excess work queues FIFO at the host. Primitive service times come from a
+//! serializable [`HostCostModel`].
+//!
+//! ```
+//! use cpsim_des::{SimTime, Streams};
+//! use cpsim_hostagent::{AgentFleet, HostCostModel, Primitive};
+//! use cpsim_inventory::{HostSpec, Inventory};
+//!
+//! let mut inv = Inventory::new();
+//! let host = inv.add_host(HostSpec::new("esx0", 20_000, 65_536));
+//!
+//! let mut fleet: AgentFleet<u32> =
+//!     AgentFleet::new(HostCostModel::default(), Streams::new(1).rng(0));
+//! fleet.add_host(host, 2);
+//!
+//! let started = fleet.submit(SimTime::ZERO, host, Primitive::PowerOnVm, 7).unwrap();
+//! let start = started.expect("agent idle: starts immediately");
+//! assert_eq!(start.job, 7);
+//! assert!(start.service.as_secs_f64() > 0.0);
+//! ```
+
+pub mod cost;
+pub mod fleet;
+pub mod heartbeat;
+
+pub use cost::{HostCostModel, Primitive};
+pub use fleet::{AgentFleet, AgentStart, HostAgentError};
+pub use heartbeat::HeartbeatSpec;

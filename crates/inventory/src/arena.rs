@@ -1,0 +1,229 @@
+//! A generational arena: stable typed ids, O(1) insert/remove, detection of
+//! stale ids after slot reuse.
+
+use crate::ids::EntityId;
+
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A typed generational arena mapping `I` ids to `T` values.
+///
+/// ```
+/// use cpsim_inventory::{Arena, VmId};
+/// let mut arena: Arena<VmId, &str> = Arena::new();
+/// let a = arena.insert("alpha");
+/// let b = arena.insert("beta");
+/// assert_eq!(arena.get(a), Some(&"alpha"));
+/// assert_eq!(arena.remove(a), Some("alpha"));
+/// assert_eq!(arena.get(a), None);      // stale id detected
+/// assert_eq!(arena.len(), 1);
+/// let c = arena.insert("gamma");       // reuses slot 0...
+/// assert_ne!(a, c);                    // ...under a new generation
+/// assert_eq!(arena.get(b), Some(&"beta"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Arena<I, T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+    _marker: std::marker::PhantomData<I>,
+}
+
+impl<I: EntityId, T> Arena<I, T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Inserts `value` and returns its id.
+    pub fn insert(&mut self, value: T) -> I {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none());
+            slot.generation += 1;
+            slot.value = Some(value);
+            I::from_parts(index, slot.generation)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("arena exceeded u32::MAX slots");
+            self.slots.push(Slot {
+                generation: 1,
+                value: Some(value),
+            });
+            I::from_parts(index, 1)
+        }
+    }
+
+    /// Looks up `id`; `None` if it was removed (or never existed).
+    pub fn get(&self, id: I) -> Option<&T> {
+        let slot = self.slots.get(id.index() as usize)?;
+        if slot.generation == id.generation() {
+            slot.value.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable lookup of `id`.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        let slot = self.slots.get_mut(id.index() as usize)?;
+        if slot.generation == id.generation() {
+            slot.value.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Whether `id` currently resolves to a live entity.
+    pub fn contains(&self, id: I) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Removes `id`, returning its value if it was live.
+    pub fn remove(&mut self, id: I) -> Option<T> {
+        let slot = self.slots.get_mut(id.index() as usize)?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        let value = slot.value.take()?;
+        self.free.push(id.index());
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no live entities.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates live entities in ascending slot order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value
+                .as_ref()
+                .map(|v| (I::from_parts(i as u32, s.generation), v))
+        })
+    }
+
+    /// Iterates live entities mutably in ascending slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            let generation = s.generation;
+            s.value
+                .as_mut()
+                .map(move |v| (I::from_parts(i as u32, generation), v))
+        })
+    }
+
+    /// Iterates the ids of live entities in ascending slot order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+}
+
+impl<I: EntityId, T> Default for Arena<I, T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VmId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a: Arena<VmId, i32> = Arena::new();
+        let x = a.insert(10);
+        let y = a.insert(20);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(x), Some(&10));
+        *a.get_mut(y).unwrap() = 25;
+        assert_eq!(a.remove(y), Some(25));
+        assert_eq!(a.remove(y), None);
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains(y));
+        assert!(a.contains(x));
+    }
+
+    #[test]
+    fn stale_ids_do_not_resolve_after_reuse() {
+        let mut a: Arena<VmId, &str> = Arena::new();
+        let x = a.insert("old");
+        a.remove(x);
+        let y = a.insert("new");
+        assert_eq!(x.index(), y.index(), "slot should be reused");
+        assert_eq!(a.get(x), None);
+        assert_eq!(a.get(y), Some(&"new"));
+        assert_eq!(a.remove(x), None);
+    }
+
+    #[test]
+    fn iteration_is_in_slot_order() {
+        let mut a: Arena<VmId, u32> = Arena::new();
+        let ids: Vec<VmId> = (0..5).map(|i| a.insert(i)).collect();
+        a.remove(ids[2]);
+        let seen: Vec<u32> = a.iter().map(|(_, &v)| v).collect();
+        assert_eq!(seen, vec![0, 1, 3, 4]);
+        let id_list: Vec<VmId> = a.ids().collect();
+        assert_eq!(id_list.len(), 4);
+    }
+
+    #[test]
+    fn iter_mut_updates_in_place() {
+        let mut a: Arena<VmId, u32> = Arena::new();
+        for i in 0..3 {
+            a.insert(i);
+        }
+        for (_, v) in a.iter_mut() {
+            *v *= 10;
+        }
+        let seen: Vec<u32> = a.iter().map(|(_, &v)| v).collect();
+        assert_eq!(seen, vec![0, 10, 20]);
+    }
+
+    proptest! {
+        /// Random interleavings of inserts and removes preserve the
+        /// contains/len invariants.
+        #[test]
+        fn random_ops_maintain_invariants(ops in proptest::collection::vec(0u8..4, 1..200)) {
+            let mut arena: Arena<VmId, usize> = Arena::new();
+            let mut live: Vec<VmId> = Vec::new();
+            let mut dead: Vec<VmId> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 | 1 => live.push(arena.insert(i)),
+                    2 if !live.is_empty() => {
+                        let id = live.remove(i % live.len());
+                        prop_assert!(arena.remove(id).is_some());
+                        dead.push(id);
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            for &id in &live {
+                prop_assert!(arena.contains(id));
+            }
+            for &id in &dead {
+                prop_assert!(!arena.contains(id));
+            }
+            prop_assert_eq!(arena.iter().count(), live.len());
+        }
+    }
+}

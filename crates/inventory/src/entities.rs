@@ -1,0 +1,280 @@
+//! Entity records: hosts, datastores, and virtual machines.
+//!
+//! Static configuration lives in `*Spec` types (what an administrator
+//! declares); dynamic state (power, placement, usage counters) lives in the
+//! entity records and is updated through [`Inventory`](crate::Inventory)
+//! methods so accounting invariants hold.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{DatastoreId, DiskId, HostId, VmId};
+
+/// Administrative state of a host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostState {
+    /// Connected to the management server and accepting operations.
+    Connected,
+    /// In maintenance mode: runs no VMs and accepts no placements.
+    Maintenance,
+    /// Disconnected: unreachable by the management server.
+    Disconnected,
+}
+
+/// Power state of a VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Powered off.
+    Off,
+    /// Powered on and running.
+    On,
+    /// Suspended to disk.
+    Suspended,
+}
+
+/// Declared capacity of a host.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Display name.
+    pub name: String,
+    /// Aggregate CPU capacity in MHz.
+    pub cpu_mhz: u64,
+    /// Physical memory in MiB.
+    pub mem_mb: u64,
+}
+
+impl HostSpec {
+    /// Creates a host spec.
+    pub fn new(name: impl Into<String>, cpu_mhz: u64, mem_mb: u64) -> Self {
+        HostSpec {
+            name: name.into(),
+            cpu_mhz,
+            mem_mb,
+        }
+    }
+}
+
+/// A virtualization host.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// Declared capacity.
+    pub spec: HostSpec,
+    /// Administrative state.
+    pub state: HostState,
+    /// Datastores this host can reach.
+    pub datastores: Vec<DatastoreId>,
+    /// VMs registered to this host.
+    pub vms: Vec<VmId>,
+    /// CPU reserved by powered-on VMs, in MHz.
+    pub cpu_used_mhz: u64,
+    /// Memory reserved by powered-on VMs, in MiB.
+    pub mem_used_mb: u64,
+}
+
+impl Host {
+    /// Creates a connected host with no VMs.
+    pub fn new(spec: HostSpec) -> Self {
+        Host {
+            spec,
+            state: HostState::Connected,
+            datastores: Vec::new(),
+            vms: Vec::new(),
+            cpu_used_mhz: 0,
+            mem_used_mb: 0,
+        }
+    }
+
+    /// Number of powered-on-reserved MiB still free.
+    pub fn mem_free_mb(&self) -> u64 {
+        self.spec.mem_mb.saturating_sub(self.mem_used_mb)
+    }
+
+    /// Fraction of memory in use (0..=1).
+    pub fn mem_utilization(&self) -> f64 {
+        if self.spec.mem_mb == 0 {
+            0.0
+        } else {
+            self.mem_used_mb as f64 / self.spec.mem_mb as f64
+        }
+    }
+
+    /// Whether the host can accept new placements.
+    pub fn accepts_placements(&self) -> bool {
+        self.state == HostState::Connected
+    }
+}
+
+/// Declared capacity of a datastore.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatastoreSpec {
+    /// Display name.
+    pub name: String,
+    /// Capacity in GiB.
+    pub capacity_gb: f64,
+    /// Aggregate copy bandwidth in MiB/s, shared by concurrent transfers.
+    pub bandwidth_mbps: f64,
+}
+
+impl DatastoreSpec {
+    /// Creates a datastore spec.
+    pub fn new(name: impl Into<String>, capacity_gb: f64, bandwidth_mbps: f64) -> Self {
+        DatastoreSpec {
+            name: name.into(),
+            capacity_gb,
+            bandwidth_mbps,
+        }
+    }
+}
+
+/// A shared datastore.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Datastore {
+    /// Declared capacity.
+    pub spec: DatastoreSpec,
+    /// Hosts connected to this datastore.
+    pub hosts: Vec<HostId>,
+    /// Space allocated to disks, in GiB (maintained by `cpsim-storage`).
+    pub used_gb: f64,
+}
+
+impl Datastore {
+    /// Creates a datastore with no connected hosts.
+    pub fn new(spec: DatastoreSpec) -> Self {
+        Datastore {
+            spec,
+            hosts: Vec::new(),
+            used_gb: 0.0,
+        }
+    }
+
+    /// GiB still unallocated.
+    pub fn free_gb(&self) -> f64 {
+        (self.spec.capacity_gb - self.used_gb).max(0.0)
+    }
+
+    /// Fraction of capacity allocated (0..=1, saturating).
+    pub fn utilization(&self) -> f64 {
+        if self.spec.capacity_gb <= 0.0 {
+            0.0
+        } else {
+            (self.used_gb / self.spec.capacity_gb).min(1.0)
+        }
+    }
+}
+
+/// Declared shape of a VM.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Configured memory in MiB.
+    pub mem_mb: u64,
+    /// Primary disk size in GiB.
+    pub disk_gb: f64,
+}
+
+impl VmSpec {
+    /// Creates a VM spec.
+    pub fn new(vcpus: u32, mem_mb: u64, disk_gb: f64) -> Self {
+        VmSpec {
+            vcpus,
+            mem_mb,
+            disk_gb,
+        }
+    }
+
+    /// Nominal CPU demand in MHz (a fixed per-vCPU reservation).
+    pub fn cpu_demand_mhz(&self) -> u64 {
+        u64::from(self.vcpus) * 1_000
+    }
+}
+
+/// A virtual machine (templates are VMs with [`Vm::is_template`] set).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Display name.
+    pub name: String,
+    /// Declared shape.
+    pub spec: VmSpec,
+    /// Power state.
+    pub power: PowerState,
+    /// Host the VM is registered on.
+    pub host: HostId,
+    /// Datastore holding the VM's home directory.
+    pub datastore: DatastoreId,
+    /// Virtual disks (content in `cpsim-storage`).
+    pub disks: Vec<DiskId>,
+    /// Whether this VM is a template (clone source, never powered on).
+    pub is_template: bool,
+}
+
+impl Vm {
+    /// Creates a powered-off VM registered on `host`/`datastore`.
+    pub fn new(
+        name: impl Into<String>,
+        spec: VmSpec,
+        host: HostId,
+        datastore: DatastoreId,
+    ) -> Self {
+        Vm {
+            name: name.into(),
+            spec,
+            power: PowerState::Off,
+            host,
+            datastore,
+            disks: Vec::new(),
+            is_template: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EntityId;
+
+    #[test]
+    fn host_accounting_helpers() {
+        let mut h = Host::new(HostSpec::new("h", 10_000, 1_000));
+        assert_eq!(h.mem_free_mb(), 1_000);
+        h.mem_used_mb = 250;
+        assert_eq!(h.mem_free_mb(), 750);
+        assert_eq!(h.mem_utilization(), 0.25);
+        assert!(h.accepts_placements());
+        h.state = HostState::Maintenance;
+        assert!(!h.accepts_placements());
+    }
+
+    #[test]
+    fn datastore_free_space_saturates() {
+        let mut d = Datastore::new(DatastoreSpec::new("d", 100.0, 50.0));
+        d.used_gb = 120.0;
+        assert_eq!(d.free_gb(), 0.0);
+        assert_eq!(d.utilization(), 1.0);
+    }
+
+    #[test]
+    fn vm_spec_cpu_demand() {
+        assert_eq!(VmSpec::new(4, 8_192, 40.0).cpu_demand_mhz(), 4_000);
+    }
+
+    #[test]
+    fn new_vm_is_off_and_not_template() {
+        let vm = Vm::new(
+            "x",
+            VmSpec::new(1, 512, 10.0),
+            HostId::from_parts(0, 1),
+            DatastoreId::from_parts(0, 1),
+        );
+        assert_eq!(vm.power, PowerState::Off);
+        assert!(!vm.is_template);
+        assert!(vm.disks.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_not_a_division_error() {
+        let h = Host::new(HostSpec::new("h", 0, 0));
+        assert_eq!(h.mem_utilization(), 0.0);
+        let d = Datastore::new(DatastoreSpec::new("d", 0.0, 1.0));
+        assert_eq!(d.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Inventory error type.
+
+use std::fmt;
+
+use crate::ids::{DatastoreId, HostId, VmId};
+
+/// Errors raised by [`Inventory`](crate::Inventory) operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InventoryError {
+    /// A host id did not resolve to a live host.
+    UnknownHost(HostId),
+    /// A VM id did not resolve to a live VM.
+    UnknownVm(VmId),
+    /// A datastore id did not resolve to a live datastore.
+    UnknownDatastore(DatastoreId),
+    /// The host cannot reach the requested datastore.
+    DatastoreNotConnected {
+        /// The host in question.
+        host: HostId,
+        /// The unreachable datastore.
+        datastore: DatastoreId,
+    },
+    /// The host lacks free memory for the requested power-on.
+    InsufficientMemory {
+        /// The host in question.
+        host: HostId,
+        /// MiB requested.
+        requested_mb: u64,
+        /// MiB available.
+        available_mb: u64,
+    },
+    /// The VM is already in the requested power state.
+    AlreadyInPowerState(VmId),
+    /// The operation is invalid for a template (e.g. powering one on).
+    IsTemplate(VmId),
+    /// The host is not in a state that accepts the operation.
+    HostNotAvailable(HostId),
+    /// The VM is powered on and must be off for this operation.
+    VmPoweredOn(VmId),
+}
+
+impl fmt::Display for InventoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InventoryError::UnknownHost(id) => write!(f, "unknown host {id}"),
+            InventoryError::UnknownVm(id) => write!(f, "unknown vm {id}"),
+            InventoryError::UnknownDatastore(id) => write!(f, "unknown datastore {id}"),
+            InventoryError::DatastoreNotConnected { host, datastore } => {
+                write!(f, "host {host} is not connected to datastore {datastore}")
+            }
+            InventoryError::InsufficientMemory {
+                host,
+                requested_mb,
+                available_mb,
+            } => write!(
+                f,
+                "host {host} has {available_mb} MiB free, {requested_mb} MiB requested"
+            ),
+            InventoryError::AlreadyInPowerState(id) => {
+                write!(f, "vm {id} is already in the requested power state")
+            }
+            InventoryError::IsTemplate(id) => write!(f, "vm {id} is a template"),
+            InventoryError::HostNotAvailable(id) => {
+                write!(f, "host {id} is not available for operations")
+            }
+            InventoryError::VmPoweredOn(id) => write!(f, "vm {id} is powered on"),
+        }
+    }
+}
+
+impl std::error::Error for InventoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EntityId;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = InventoryError::InsufficientMemory {
+            host: HostId::from_parts(1, 1),
+            requested_mb: 4096,
+            available_mb: 1024,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("4096"));
+        assert!(msg.contains("1024"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(InventoryError::UnknownVm(VmId::from_parts(0, 1)));
+        assert!(e.to_string().contains("unknown vm"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Typed entity identifiers.
+//!
+//! Every id is a `(index, generation)` pair into a generational
+//! [`Arena`](crate::Arena). Distinct entity kinds get distinct Rust types,
+//! so a `VmId` can never be passed where a `HostId` is expected.
+
+use serde::{Deserialize, Serialize};
+
+/// Common interface of all entity ids (sealed: implemented only by the
+/// `define_id!` macro in this crate).
+pub trait EntityId: Copy + Eq + std::hash::Hash + std::fmt::Debug + private::Sealed {
+    /// Builds an id from its raw parts. Intended for [`Arena`](crate::Arena).
+    fn from_parts(index: u32, generation: u32) -> Self;
+    /// Slot index within the arena.
+    fn index(self) -> u32;
+    /// Generation of the slot this id refers to.
+    fn generation(self) -> u32;
+}
+
+mod private {
+    pub trait Sealed {}
+}
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name {
+            index: u32,
+            generation: u32,
+        }
+
+        impl private::Sealed for $name {}
+
+        impl EntityId for $name {
+            fn from_parts(index: u32, generation: u32) -> Self {
+                $name { index, generation }
+            }
+            fn index(self) -> u32 {
+                self.index
+            }
+            fn generation(self) -> u32 {
+                self.generation
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({}.{})"), self.index, self.generation)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A physical virtualization host (hypervisor).
+    HostId
+);
+define_id!(
+    /// A virtual machine (or VM template).
+    VmId
+);
+define_id!(
+    /// A shared datastore (LUN / NFS volume / vSAN).
+    DatastoreId
+);
+define_id!(
+    /// A host cluster.
+    ClusterId
+);
+define_id!(
+    /// A virtual disk (VMDK); content tracked by `cpsim-storage`.
+    DiskId
+);
+define_id!(
+    /// A virtual network / port group.
+    NetworkId
+);
+define_id!(
+    /// A cloud tenant organization.
+    OrgId
+);
+define_id!(
+    /// A vApp: a tenant-visible group of VMs deployed together.
+    VappId
+);
+define_id!(
+    /// A management-plane task.
+    TaskId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip() {
+        let id = VmId::from_parts(7, 3);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.generation(), 3);
+    }
+
+    #[test]
+    fn distinct_generations_differ() {
+        assert_ne!(HostId::from_parts(1, 1), HostId::from_parts(1, 2));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", DiskId::from_parts(4, 1)), "DiskId(4.1)");
+        assert_eq!(TaskId::from_parts(0, 9).to_string(), "TaskId(0.9)");
+    }
+
+    #[test]
+    fn ids_are_orderable_for_deterministic_maps() {
+        let a = DatastoreId::from_parts(0, 1);
+        let b = DatastoreId::from_parts(1, 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = OrgId::from_parts(2, 5);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: OrgId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

@@ -1,0 +1,38 @@
+//! The virtualized-datacenter inventory: the shared entity model every
+//! other layer (storage, host agents, management plane, cloud director)
+//! reads and updates.
+//!
+//! Entities live in generational [`Arena`]s, so a stale id (e.g. a task
+//! referencing a VM destroyed by a lease expiry) is detected rather than
+//! silently resolving to a recycled slot.
+//!
+//! # Example
+//!
+//! ```
+//! use cpsim_inventory::{HostSpec, DatastoreSpec, Inventory, VmSpec, PowerState};
+//!
+//! let mut inv = Inventory::new();
+//! let ds = inv.add_datastore(DatastoreSpec::new("ds0", 4096.0, 200.0));
+//! let host = inv.add_host(HostSpec::new("esx0", 24_000, 131_072));
+//! inv.connect_host_datastore(host, ds)?;
+//!
+//! let vm = inv.create_vm("web-01", VmSpec::new(2, 4096, 40.0), host, ds)?;
+//! inv.power_on(vm)?;
+//! assert_eq!(inv.vm(vm).unwrap().power, PowerState::On);
+//! assert_eq!(inv.host(host).unwrap().mem_used_mb, 4096);
+//! # Ok::<(), cpsim_inventory::InventoryError>(())
+//! ```
+
+pub mod arena;
+pub mod entities;
+pub mod error;
+pub mod ids;
+mod model;
+
+pub use arena::Arena;
+pub use entities::{Datastore, DatastoreSpec, Host, HostSpec, HostState, PowerState, Vm, VmSpec};
+pub use error::InventoryError;
+pub use ids::{
+    ClusterId, DatastoreId, DiskId, EntityId, HostId, NetworkId, OrgId, TaskId, VappId, VmId,
+};
+pub use model::{Inventory, InventoryCounts};

@@ -1,0 +1,318 @@
+//! A log-bucketed histogram for non-negative measurements.
+//!
+//! Bucket boundaries grow geometrically (4 % per bucket by default), giving
+//! bounded relative error on quantiles with a few hundred buckets across
+//! twelve decades — plenty for latencies from microseconds to days.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest value tracked distinctly; everything in `[0, TRACK_FLOOR)` goes
+/// into the underflow bucket and reads back as zero.
+const TRACK_FLOOR: f64 = 1e-9;
+
+/// Geometric growth factor of bucket boundaries.
+const GROWTH: f64 = 1.04;
+
+/// A mergeable log-bucketed histogram.
+///
+/// ```
+/// use cpsim_metrics::Histogram;
+/// let mut h = Histogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 - 500.0).abs() / 500.0 < 0.05); // ~4 % bucket error
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts values in `[floor * G^i, floor * G^(i+1))`.
+    buckets: Vec<u64>,
+    underflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one measurement.
+    ///
+    /// Negative or non-finite values are a caller bug; they are clamped to
+    /// zero in release builds and panic in debug builds.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(
+            value.is_finite() && value >= 0.0,
+            "histogram values must be finite and >= 0, got {value}"
+        );
+        let value = if value.is_finite() && value >= 0.0 {
+            value
+        } else {
+            0.0
+        };
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        if value < TRACK_FLOOR {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((value / TRACK_FLOOR).ln() / GROWTH.ln()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Records `n` identical measurements.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        for _ in 0..n {
+            self.record(value);
+        }
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the recorded values (exact), or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of recorded values (exact).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (exact), or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact), or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) with ~4 % relative error, or 0 if
+    /// empty. Reported values are clamped into `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Rank of the target observation (1-based, nearest-rank method).
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.min.max(0.0).min(self.max);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric midpoint of the bucket, clamped to observed range.
+                let lo = TRACK_FLOOR * GROWTH.powi(i as i32);
+                let mid = lo * GROWTH.sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn exact_moments() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 / 10.0); // 0.1 .. 1000.0
+        }
+        for &(q, expect) in &[(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "q={q}: got {got}, expected ~{expect}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.0), h.min());
+    }
+
+    #[test]
+    fn zeros_go_to_underflow() {
+        let mut h = Histogram::new();
+        h.record_n(0.0, 10);
+        h.record(5.0);
+        assert_eq!(h.count(), 11);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for i in 0..100 {
+            let v = (i * 37 % 91) as f64 + 0.5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram::new();
+        h.record(2.5);
+        h.record(7.0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_always_within_min_max(values in proptest::collection::vec(0.0f64..1e9, 1..200), q in 0.0f64..=1.0) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let got = h.quantile(q);
+            prop_assert!(got >= h.min() - 1e-12);
+            prop_assert!(got <= h.max() + 1e-12);
+        }
+
+        #[test]
+        fn quantile_is_monotone(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let got: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+            for w in got.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+
+        #[test]
+        fn count_and_sum_exact(values in proptest::collection::vec(0.0f64..1e6, 0..100)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            let total: f64 = values.iter().sum();
+            prop_assert!((h.sum() - total).abs() < 1e-6 * (1.0 + total.abs()));
+        }
+    }
+}

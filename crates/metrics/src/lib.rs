@@ -1,0 +1,19 @@
+//! Measurement and reporting utilities for cpsim experiments.
+//!
+//! - [`Histogram`]: log-bucketed latency/size histogram with ~2 % relative
+//!   quantile error, mergeable across runs;
+//! - [`Summary`]: exact order statistics over a retained sample;
+//! - [`TimeSeries`]: fixed-width binning of events over simulated time
+//!   (arrival-rate plots);
+//! - [`Table`]: the output format of every reproduced table/figure —
+//!   renders as aligned markdown and as CSV.
+
+pub mod histogram;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,232 @@
+//! Exact order statistics over a retained sample.
+//!
+//! Experiments that collect up to a few hundred thousand observations keep
+//! them and report exact percentiles; unbounded streams should use
+//! [`Histogram`](crate::Histogram) instead.
+
+use serde::{Deserialize, Serialize};
+
+/// A collected sample with exact summary statistics.
+///
+/// ```
+/// use cpsim_metrics::Summary;
+/// let mut s: Summary = [4.0, 1.0, 3.0, 2.0].into_iter().collect();
+/// assert_eq!(s.percentile(50.0), 2.0);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "summary values must be finite");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Population standard deviation, or 0 if fewer than two observations.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (std dev / mean), or 0 if the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact percentile by the nearest-rank method (`p` in 0..=100), or 0 if
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        self.values[rank - 1]
+    }
+
+    /// The empirical CDF evaluated at each of `points`: fraction of
+    /// observations ≤ the point.
+    pub fn cdf_at(&mut self, points: &[f64]) -> Vec<f64> {
+        self.ensure_sorted();
+        let n = self.values.len();
+        points
+            .iter()
+            .map(|&p| {
+                if n == 0 {
+                    0.0
+                } else {
+                    let le = self.values.partition_point(|&v| v <= p);
+                    le as f64 / n as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Read-only access to the raw observations (unspecified order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            self.sorted = true;
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_reads_zero() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Summary = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(90.0), 90.0);
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn moments() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0); // classic example
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_points() {
+        let mut s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        let cdf = s.cdf_at(&[0.5, 2.0, 10.0]);
+        assert_eq!(cdf, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn record_after_percentile_stays_correct() {
+        let mut s = Summary::new();
+        s.record(5.0);
+        assert_eq!(s.percentile(50.0), 5.0);
+        s.record(1.0);
+        assert_eq!(s.percentile(50.0), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn extend_and_collect_agree() {
+        let mut a = Summary::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let b: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(a.values(), b.values());
+    }
+}

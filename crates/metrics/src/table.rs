@@ -1,0 +1,205 @@
+//! The output format of every reproduced table and figure: a titled grid of
+//! cells that renders as aligned markdown (for the terminal) and CSV (for
+//! plotting).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A titled result table.
+///
+/// ```
+/// use cpsim_metrics::Table;
+/// let mut t = Table::new("Figure 1", &["workload", "ops/day"]);
+/// t.row(["cloud-a", "1500"]);
+/// t.row(["cloud-b", "900"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("| cloud-a"));
+/// assert!(t.to_csv().starts_with("workload,ops/day\n"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of columns.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header row first). Cells containing commas, quotes
+    /// or newlines are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if c.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.columns);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.columns)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimal places, trimming to a compact form.
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout_is_aligned() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(["long-name", "1"]).row(["x", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("| name      | v  |"));
+        assert!(s.contains("| long-name | 1  |"));
+        assert!(s.contains("| x         | 22 |"));
+        assert!(s.starts_with("### T"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Table::new("T", &["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.title(), "T");
+        assert_eq!(t.columns(), ["a".to_string()]);
+        assert_eq!(t.rows()[0], vec!["1".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new("T", &["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(10.0, 0), "10");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(["1"]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fixed-width time binning of events and values over simulated time.
+//!
+//! Used for arrival-rate and utilization-over-time figures: each event (or
+//! valued observation) lands in the bin containing its timestamp.
+
+use cpsim_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A series of equal-width bins starting at time zero.
+///
+/// ```
+/// use cpsim_des::{SimDuration, SimTime};
+/// use cpsim_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+/// ts.record(SimTime::from_secs(30), 1.0);
+/// ts.record(SimTime::from_secs(45), 1.0);
+/// ts.record(SimTime::from_secs(90), 1.0);
+/// assert_eq!(ts.counts(), &[2, 1]);
+/// assert_eq!(ts.sums(), &[2.0, 1.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bin_width: SimDuration,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        TimeSeries {
+            bin_width,
+            counts: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Records an observation of `value` at `t`.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let idx = (t.as_micros() / self.bin_width.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+            self.sums.resize(idx + 1, 0.0);
+        }
+        self.counts[idx] += 1;
+        self.sums[idx] += value;
+    }
+
+    /// Records a unit event at `t` (counting only).
+    pub fn mark(&mut self, t: SimTime) {
+        self.record(t, 1.0);
+    }
+
+    /// The bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Event counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Value sums per bin.
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Number of bins touched so far.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Event rate per second in each bin.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let w = self.bin_width.as_secs_f64();
+        self.counts.iter().map(|&c| c as f64 / w).collect()
+    }
+
+    /// Mean recorded value in each bin (0 for empty bins).
+    pub fn means(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .zip(&self.sums)
+            .map(|(&c, &s)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Peak-to-mean ratio of the per-bin event counts over the first
+    /// `n_bins` bins (burstiness indicator); 0 if no events.
+    pub fn peak_to_mean(&self, n_bins: usize) -> f64 {
+        let n = n_bins.min(self.counts.len()).max(1);
+        let slice = &self.counts[..n.min(self.counts.len())];
+        if slice.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = slice.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / n as f64;
+        let peak = *slice.iter().max().expect("non-empty") as f64;
+        peak / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_half_open() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.mark(SimTime::ZERO);
+        ts.mark(SimTime::from_micros(9_999_999));
+        ts.mark(SimTime::from_secs(10)); // first instant of bin 1
+        assert_eq!(ts.counts(), &[2, 1]);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn rates_scale_by_bin_width() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(2));
+        ts.mark(SimTime::ZERO);
+        ts.mark(SimTime::from_secs(1));
+        assert_eq!(ts.rates_per_sec(), vec![1.0]);
+    }
+
+    #[test]
+    fn means_ignore_empty_bins() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::ZERO, 10.0);
+        ts.record(SimTime::ZERO, 20.0);
+        ts.record(SimTime::from_secs(2), 5.0);
+        assert_eq!(ts.means(), vec![15.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn peak_to_mean_measures_burstiness() {
+        let mut smooth = TimeSeries::new(SimDuration::from_secs(1));
+        let mut bursty = TimeSeries::new(SimDuration::from_secs(1));
+        for i in 0..10 {
+            smooth.mark(SimTime::from_secs(i));
+        }
+        for _ in 0..10 {
+            bursty.mark(SimTime::from_secs(3));
+        }
+        // make both series 10 bins long for a fair comparison
+        bursty.record(SimTime::from_secs(9), 0.0);
+        assert!((smooth.peak_to_mean(10) - 1.0).abs() < 1e-12);
+        assert!(bursty.peak_to_mean(10) > 5.0);
+    }
+
+    #[test]
+    fn empty_series_behaves() {
+        let ts = TimeSeries::new(SimDuration::from_secs(1));
+        assert!(ts.is_empty());
+        assert_eq!(ts.peak_to_mean(10), 0.0);
+        assert!(ts.rates_per_sec().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_rejected() {
+        TimeSeries::new(SimDuration::ZERO);
+    }
+}

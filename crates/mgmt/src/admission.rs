@@ -1,0 +1,435 @@
+//! Admission control: global / per-host / per-datastore concurrency limits
+//! and per-VM operation locks, with a FIFO pending queue.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cpsim_des::SlotPool;
+use cpsim_inventory::{DatastoreId, HostId, TaskId, VmId};
+
+use crate::config::AdmissionLimits;
+
+/// The resources an operation must hold while executing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scope {
+    /// Host whose agent the operation occupies.
+    pub host: Option<HostId>,
+    /// Second host (migration destination).
+    pub host2: Option<HostId>,
+    /// Datastore the operation provisions onto / copies into.
+    pub datastore: Option<DatastoreId>,
+    /// VMs that must be exclusively locked for the duration.
+    pub vms: Vec<VmId>,
+    /// VMs locked in shared mode (e.g. clone sources: many concurrent
+    /// clones may read one template, but none while an exclusive op runs).
+    pub vms_shared: Vec<VmId>,
+}
+
+impl Scope {
+    /// A scope touching nothing but the global limit.
+    pub fn global_only() -> Self {
+        Scope::default()
+    }
+
+    /// Builder: sets the host.
+    pub fn with_host(mut self, host: HostId) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Builder: sets the second host.
+    pub fn with_host2(mut self, host: HostId) -> Self {
+        self.host2 = Some(host);
+        self
+    }
+
+    /// Builder: sets the datastore.
+    pub fn with_datastore(mut self, ds: DatastoreId) -> Self {
+        self.datastore = Some(ds);
+        self
+    }
+
+    /// Builder: adds an exclusive VM lock.
+    pub fn with_vm(mut self, vm: VmId) -> Self {
+        self.vms.push(vm);
+        self
+    }
+
+    /// Builder: adds a shared VM lock.
+    pub fn with_vm_shared(mut self, vm: VmId) -> Self {
+        self.vms_shared.push(vm);
+        self
+    }
+}
+
+/// State of one VM's operation lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VmLock {
+    Exclusive,
+    Shared(u32),
+}
+
+/// Admission control state.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    limits: AdmissionLimits,
+    global: SlotPool,
+    per_host: BTreeMap<HostId, SlotPool>,
+    per_ds: BTreeMap<DatastoreId, SlotPool>,
+    vm_locks: BTreeMap<VmId, VmLock>,
+    pending: VecDeque<(TaskId, Scope)>,
+    parked_total: u64,
+    peak_pending: usize,
+}
+
+impl AdmissionControl {
+    /// Creates admission control with the given limits.
+    pub fn new(limits: AdmissionLimits) -> Self {
+        AdmissionControl {
+            limits,
+            global: SlotPool::new(limits.global),
+            per_host: BTreeMap::new(),
+            per_ds: BTreeMap::new(),
+            vm_locks: BTreeMap::new(),
+            pending: VecDeque::new(),
+            parked_total: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Attempts to acquire everything in `scope` atomically (all or
+    /// nothing). On failure the caller should [`park`](Self::park).
+    pub fn try_acquire(&mut self, scope: &Scope) -> bool {
+        if !self.can_acquire(scope) {
+            return false;
+        }
+        assert!(self.global.try_acquire(), "can_acquire said yes");
+        for host in scope.host.iter().chain(scope.host2.iter()) {
+            let ok = self
+                .per_host
+                .entry(*host)
+                .or_insert_with(|| SlotPool::new(self.limits.per_host))
+                .try_acquire();
+            assert!(ok, "can_acquire said yes");
+        }
+        if let Some(ds) = scope.datastore {
+            let ok = self
+                .per_ds
+                .entry(ds)
+                .or_insert_with(|| SlotPool::new(self.limits.per_datastore))
+                .try_acquire();
+            assert!(ok, "can_acquire said yes");
+        }
+        for vm in &scope.vms {
+            let prev = self.vm_locks.insert(*vm, VmLock::Exclusive);
+            assert!(prev.is_none(), "can_acquire said yes");
+        }
+        for vm in &scope.vms_shared {
+            match self.vm_locks.get_mut(vm) {
+                None => {
+                    self.vm_locks.insert(*vm, VmLock::Shared(1));
+                }
+                Some(VmLock::Shared(n)) => *n += 1,
+                Some(VmLock::Exclusive) => unreachable!("can_acquire said yes"),
+            }
+        }
+        true
+    }
+
+    /// Parks a task whose scope could not be acquired; it will be offered
+    /// again by [`release`](Self::release).
+    pub fn park(&mut self, task: TaskId, scope: Scope) {
+        self.parked_total += 1;
+        self.pending.push_back((task, scope));
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+    }
+
+    /// Releases `scope` and re-offers parked tasks in FIFO order,
+    /// returning those whose scopes were acquired now (with the scope each
+    /// now holds).
+    pub fn release(&mut self, scope: &Scope) -> Vec<(TaskId, Scope)> {
+        self.release_only(scope);
+        self.drain_pending()
+    }
+
+    /// Releases `scope` without draining (used when the releasing task
+    /// immediately acquires a new scope).
+    pub fn release_only(&mut self, scope: &Scope) {
+        self.global.release();
+        for host in scope.host.iter().chain(scope.host2.iter()) {
+            self.per_host
+                .get_mut(host)
+                .expect("releasing unheld host slot")
+                .release();
+        }
+        if let Some(ds) = scope.datastore {
+            self.per_ds
+                .get_mut(&ds)
+                .expect("releasing unheld datastore slot")
+                .release();
+        }
+        for vm in &scope.vms {
+            let removed = self.vm_locks.remove(vm);
+            assert_eq!(
+                removed,
+                Some(VmLock::Exclusive),
+                "releasing unheld exclusive vm lock"
+            );
+        }
+        for vm in &scope.vms_shared {
+            match self.vm_locks.get_mut(vm) {
+                Some(VmLock::Shared(n)) if *n > 1 => *n -= 1,
+                Some(VmLock::Shared(_)) => {
+                    self.vm_locks.remove(vm);
+                }
+                other => panic!("releasing unheld shared vm lock: {other:?}"),
+            }
+        }
+    }
+
+    /// Re-offers parked tasks in FIFO order; returns the admitted ones
+    /// with the scope each now holds.
+    pub fn drain_pending(&mut self) -> Vec<(TaskId, Scope)> {
+        let mut admitted = Vec::new();
+        let mut still_parked = VecDeque::new();
+        while let Some((task, scope)) = self.pending.pop_front() {
+            if self.try_acquire(&scope) {
+                admitted.push((task, scope));
+            } else {
+                still_parked.push_back((task, scope));
+            }
+        }
+        self.pending = still_parked;
+        admitted
+    }
+
+    /// Number of tasks currently parked.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Largest pending-queue length observed.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Total park events (admission backpressure).
+    pub fn parked_total(&self) -> u64 {
+        self.parked_total
+    }
+
+    /// Operations currently holding the global limit.
+    pub fn in_flight(&self) -> u32 {
+        self.global.in_use()
+    }
+
+    /// Whether `vm` is currently locked by any operation.
+    pub fn is_vm_locked(&self, vm: VmId) -> bool {
+        self.vm_locks.contains_key(&vm)
+    }
+
+    fn can_acquire(&self, scope: &Scope) -> bool {
+        if !self.global.has_capacity() {
+            return false;
+        }
+        // Two hosts in one scope need two distinct slots (or two from the
+        // same pool when equal).
+        let mut host_needs: BTreeMap<HostId, u32> = BTreeMap::new();
+        for host in scope.host.iter().chain(scope.host2.iter()) {
+            *host_needs.entry(*host).or_default() += 1;
+        }
+        for (host, need) in &host_needs {
+            let used = self.per_host.get(host).map_or(0, |p| p.in_use());
+            if used + need > self.limits.per_host {
+                return false;
+            }
+        }
+        if let Some(ds) = scope.datastore {
+            let used = self.per_ds.get(&ds).map_or(0, |p| p.in_use());
+            if used + 1 > self.limits.per_datastore {
+                return false;
+            }
+        }
+        if !scope.vms.iter().all(|vm| !self.vm_locks.contains_key(vm)) {
+            return false;
+        }
+        scope.vms_shared.iter().all(|vm| {
+            !matches!(self.vm_locks.get(vm), Some(VmLock::Exclusive))
+                && !scope.vms.contains(vm)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    fn ids() -> (HostId, DatastoreId, VmId, TaskId, TaskId) {
+        (
+            HostId::from_parts(0, 1),
+            DatastoreId::from_parts(0, 1),
+            VmId::from_parts(0, 1),
+            TaskId::from_parts(0, 1),
+            TaskId::from_parts(1, 1),
+        )
+    }
+
+    fn small_limits() -> AdmissionLimits {
+        AdmissionLimits {
+            global: 4,
+            per_host: 2,
+            per_datastore: 1,
+        }
+    }
+
+    #[test]
+    fn acquires_and_releases_all_dimensions() {
+        let (h, ds, vm, _t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(small_limits());
+        let scope = Scope::global_only()
+            .with_host(h)
+            .with_datastore(ds)
+            .with_vm(vm);
+        assert!(ac.try_acquire(&scope));
+        assert_eq!(ac.in_flight(), 1);
+        assert!(ac.is_vm_locked(vm));
+        ac.release(&scope);
+        assert_eq!(ac.in_flight(), 0);
+        assert!(!ac.is_vm_locked(vm));
+    }
+
+    #[test]
+    fn per_datastore_limit_blocks_second_op() {
+        let (h, ds, _vm, t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(small_limits());
+        let scope = Scope::global_only().with_host(h).with_datastore(ds);
+        assert!(ac.try_acquire(&scope));
+        assert!(!ac.try_acquire(&scope), "per-datastore limit is 1");
+        ac.park(t1, scope.clone());
+        assert_eq!(ac.pending_len(), 1);
+        let admitted = ac.release(&scope);
+        assert_eq!(admitted, vec![(t1, scope.clone())]);
+        assert_eq!(ac.pending_len(), 0);
+        assert_eq!(ac.parked_total(), 1);
+    }
+
+    #[test]
+    fn vm_lock_is_exclusive() {
+        let (_h, _ds, vm, _t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(small_limits());
+        let a = Scope::global_only().with_vm(vm);
+        assert!(ac.try_acquire(&a));
+        assert!(!ac.try_acquire(&a));
+        ac.release(&a);
+        assert!(ac.try_acquire(&a));
+    }
+
+    #[test]
+    fn all_or_nothing_acquisition() {
+        let (h, ds, vm, _t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(small_limits());
+        // Lock the VM via a different scope.
+        let lock = Scope::global_only().with_vm(vm);
+        assert!(ac.try_acquire(&lock));
+        // A compound scope that would fit except for the VM lock must not
+        // consume host/ds slots.
+        let compound = Scope::global_only()
+            .with_host(h)
+            .with_datastore(ds)
+            .with_vm(vm);
+        assert!(!ac.try_acquire(&compound));
+        // Host and datastore are untouched: a sibling scope still fits.
+        let sibling = Scope::global_only().with_host(h).with_datastore(ds);
+        assert!(ac.try_acquire(&sibling));
+    }
+
+    #[test]
+    fn migration_scope_needs_two_host_slots() {
+        let (h, _ds, _vm, _t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 10,
+            per_host: 1,
+            per_datastore: 10,
+        });
+        // Same host twice (degenerate migration): needs 2 slots but limit 1.
+        let degenerate = Scope::global_only().with_host(h).with_host2(h);
+        assert!(!ac.try_acquire(&degenerate));
+        // Distinct hosts each take one slot.
+        let h2 = HostId::from_parts(1, 1);
+        let scope = Scope::global_only().with_host(h).with_host2(h2);
+        assert!(ac.try_acquire(&scope));
+        ac.release(&scope);
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let (h, ds, _vm, t1, t2) = ids();
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 10,
+            per_host: 10,
+            per_datastore: 1,
+        });
+        let scope = Scope::global_only().with_host(h).with_datastore(ds);
+        assert!(ac.try_acquire(&scope));
+        ac.park(t1, scope.clone());
+        ac.park(t2, scope.clone());
+        // Releasing one slot admits exactly the first parked task.
+        let admitted = ac.release(&scope);
+        assert_eq!(admitted, vec![(t1, scope.clone())]);
+        assert_eq!(ac.pending_len(), 1);
+        assert_eq!(ac.peak_pending(), 2);
+    }
+
+    #[test]
+    fn shared_locks_allow_concurrent_clones_but_block_exclusive() {
+        let (_h, _ds, vm, _t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 10,
+            per_host: 10,
+            per_datastore: 10,
+        });
+        let reader = Scope::global_only().with_vm_shared(vm);
+        // Many concurrent shared holders.
+        assert!(ac.try_acquire(&reader));
+        assert!(ac.try_acquire(&reader));
+        assert!(ac.try_acquire(&reader));
+        assert!(ac.is_vm_locked(vm));
+        // An exclusive op must wait for all readers.
+        let writer = Scope::global_only().with_vm(vm);
+        assert!(!ac.try_acquire(&writer));
+        ac.release_only(&reader);
+        ac.release_only(&reader);
+        assert!(!ac.try_acquire(&writer), "one reader still holds");
+        ac.release_only(&reader);
+        assert!(ac.try_acquire(&writer));
+        // And readers must wait for the writer.
+        assert!(!ac.try_acquire(&reader));
+        ac.release_only(&writer);
+        assert!(ac.try_acquire(&reader));
+        ac.release_only(&reader);
+        assert!(!ac.is_vm_locked(vm));
+    }
+
+    #[test]
+    fn mixed_scope_cannot_hold_same_vm_shared_and_exclusive() {
+        let (_h, _ds, vm, _t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 10,
+            per_host: 10,
+            per_datastore: 10,
+        });
+        let weird = Scope::global_only().with_vm(vm).with_vm_shared(vm);
+        assert!(!ac.try_acquire(&weird), "self-conflicting scope rejected");
+    }
+
+    #[test]
+    fn global_limit_applies_to_scopeless_ops() {
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 1,
+            per_host: 8,
+            per_datastore: 8,
+        });
+        assert!(ac.try_acquire(&Scope::global_only()));
+        assert!(!ac.try_acquire(&Scope::global_only()));
+    }
+}

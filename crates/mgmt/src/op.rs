@@ -1,0 +1,207 @@
+//! Management operations: the vocabulary of work the control plane
+//! executes.
+
+use cpsim_inventory::{DatastoreId, HostId, HostSpec, VmId, VmSpec};
+use serde::{Deserialize, Serialize};
+
+/// How a clone materializes its disks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloneMode {
+    /// Copy every byte of the source disk (bandwidth-bound).
+    Full,
+    /// Create a copy-on-write delta over the source's base disk
+    /// (control-plane-bound; requires the base to be resident on the
+    /// destination datastore, else a shadow copy is made first).
+    Linked,
+    /// Fork the source in place on its own host and datastore: no data
+    /// movement at all and the cheapest host-side work, but zero
+    /// placement freedom — every clone lands on the parent's host.
+    Instant,
+}
+
+impl CloneMode {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CloneMode::Full => "full",
+            CloneMode::Linked => "linked",
+            CloneMode::Instant => "instant",
+        }
+    }
+}
+
+/// A management operation submitted to the control plane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// Create a new VM from scratch.
+    CreateVm {
+        /// Shape of the VM.
+        spec: VmSpec,
+    },
+    /// Clone `source` into a new VM.
+    CloneVm {
+        /// The VM or template to clone.
+        source: VmId,
+        /// Full copy or linked clone.
+        mode: CloneMode,
+    },
+    /// Power a VM on.
+    PowerOn {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Power a VM off.
+    PowerOff {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Change a VM's configuration (vNIC / fencing / memory).
+    Reconfigure {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Take a snapshot of a VM.
+    Snapshot {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Remove the most recent snapshot (consolidate the delta).
+    RemoveSnapshot {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Destroy a powered-off VM and release its storage.
+    DestroyVm {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Live-migrate a VM to another host (placement chooses which).
+    MigrateVm {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Storage-migrate a VM's disks to `dst`.
+    RelocateVm {
+        /// Target VM.
+        vm: VmId,
+        /// Destination datastore.
+        dst: DatastoreId,
+    },
+    /// Copy a template's base disk onto `dst` so linked clones can be
+    /// created there locally (cloud reconfiguration building block).
+    SeedTemplate {
+        /// The template to seed.
+        template: VmId,
+        /// Destination datastore.
+        dst: DatastoreId,
+    },
+    /// Add a host to the inventory (agent install + initial sync).
+    AddHost {
+        /// The new host's declared capacity.
+        spec: HostSpec,
+        /// Datastores to connect it to.
+        datastores: Vec<DatastoreId>,
+    },
+    /// Rescan storage on a host after datastore changes.
+    RescanDatastores {
+        /// Target host.
+        host: HostId,
+    },
+}
+
+impl OpKind {
+    /// A stable lowercase name for stats and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::CreateVm { .. } => "create-vm",
+            OpKind::CloneVm {
+                mode: CloneMode::Full,
+                ..
+            } => "clone-full",
+            OpKind::CloneVm {
+                mode: CloneMode::Linked,
+                ..
+            } => "clone-linked",
+            OpKind::CloneVm {
+                mode: CloneMode::Instant,
+                ..
+            } => "clone-instant",
+            OpKind::PowerOn { .. } => "power-on",
+            OpKind::PowerOff { .. } => "power-off",
+            OpKind::Reconfigure { .. } => "reconfigure",
+            OpKind::Snapshot { .. } => "snapshot",
+            OpKind::RemoveSnapshot { .. } => "remove-snapshot",
+            OpKind::DestroyVm { .. } => "destroy-vm",
+            OpKind::MigrateVm { .. } => "migrate-vm",
+            OpKind::RelocateVm { .. } => "relocate-vm",
+            OpKind::SeedTemplate { .. } => "seed-template",
+            OpKind::AddHost { .. } => "add-host",
+            OpKind::RescanDatastores { .. } => "rescan-datastores",
+        }
+    }
+
+    /// Whether this operation creates a VM (provisioning).
+    pub fn is_provisioning(&self) -> bool {
+        matches!(self, OpKind::CreateVm { .. } | OpKind::CloneVm { .. })
+    }
+}
+
+/// An operation plus bookkeeping the submitter may attach.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// What to do.
+    pub kind: OpKind,
+    /// Opaque correlation tag the submitter can use to route completions
+    /// (the cloud layer stores its workflow id here).
+    pub tag: u64,
+}
+
+impl Operation {
+    /// Wraps `kind` with a zero tag.
+    pub fn new(kind: OpKind) -> Self {
+        Operation { kind, tag: 0 }
+    }
+
+    /// Wraps `kind` with a correlation tag.
+    pub fn tagged(kind: OpKind, tag: u64) -> Self {
+        Operation { kind, tag }
+    }
+}
+
+impl From<OpKind> for Operation {
+    fn from(kind: OpKind) -> Self {
+        Operation::new(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    #[test]
+    fn names_distinguish_clone_modes() {
+        let vm = VmId::from_parts(0, 1);
+        let full = OpKind::CloneVm {
+            source: vm,
+            mode: CloneMode::Full,
+        };
+        let linked = OpKind::CloneVm {
+            source: vm,
+            mode: CloneMode::Linked,
+        };
+        assert_eq!(full.name(), "clone-full");
+        assert_eq!(linked.name(), "clone-linked");
+        assert!(full.is_provisioning());
+        assert!(!OpKind::PowerOn { vm }.is_provisioning());
+    }
+
+    #[test]
+    fn operation_from_kind() {
+        let vm = VmId::from_parts(0, 1);
+        let op: Operation = OpKind::PowerOn { vm }.into();
+        assert_eq!(op.tag, 0);
+        let tagged = Operation::tagged(OpKind::PowerOff { vm }, 42);
+        assert_eq!(tagged.tag, 42);
+    }
+}

@@ -1,0 +1,264 @@
+//! The placement engine: chooses a host and datastore for provisioning and
+//! migration targets.
+//!
+//! Placement is a control-plane cost center: the real system scans the
+//! inventory to score candidates, so our CPU charge grows linearly with
+//! host count (see `ControlCostModel::placement_per_host_us`). The policy
+//! itself is deliberately simple and deterministic.
+
+use cpsim_inventory::{DatastoreId, HostId, Inventory, VmId};
+use cpsim_storage::TemplateResidency;
+use serde::{Deserialize, Serialize};
+
+/// Placement policies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Least memory-utilized host; most-free-space datastore, preferring
+    /// datastores where the clone source is resident (linked clones avoid
+    /// shadow copies there).
+    #[default]
+    LeastLoaded,
+    /// Rotate across hosts (used by ablations to remove load awareness).
+    RoundRobin,
+}
+
+/// Stateful placement engine.
+#[derive(Clone, Debug, Default)]
+pub struct Placer {
+    policy: PlacementPolicy,
+    round_robin_cursor: usize,
+}
+
+impl Placer {
+    /// Creates a placer with `policy`.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        Placer {
+            policy,
+            round_robin_cursor: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Chooses `(host, datastore)` for a new VM needing `disk_gb` of space
+    /// and `mem_mb` of memory headroom.
+    ///
+    /// `prefer_resident`: when provisioning a linked clone of a template,
+    /// datastores already holding the template's base are preferred.
+    ///
+    /// Returns `None` when no (connected host, datastore-with-space) pair
+    /// exists.
+    pub fn place(
+        &mut self,
+        inv: &Inventory,
+        residency: &TemplateResidency,
+        disk_gb: f64,
+        mem_mb: u64,
+        prefer_resident: Option<VmId>,
+    ) -> Option<(HostId, DatastoreId)> {
+        // Candidate datastores with space, split into resident-preferred
+        // and the rest.
+        let mut resident: Vec<(DatastoreId, f64)> = Vec::new();
+        let mut others: Vec<(DatastoreId, f64)> = Vec::new();
+        for (ds_id, ds) in inv.datastores() {
+            if ds.free_gb() < disk_gb || ds.hosts.is_empty() {
+                continue;
+            }
+            let bucket = match prefer_resident {
+                Some(t) if residency.is_resident(t, ds_id) => &mut resident,
+                _ => &mut others,
+            };
+            bucket.push((ds_id, ds.free_gb()));
+        }
+        let pick_ds = |list: &[(DatastoreId, f64)]| -> Option<DatastoreId> {
+            list.iter()
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("free space is finite")
+                        .then_with(|| b.0.cmp(&a.0)) // lower id wins ties
+                })
+                .map(|(id, _)| *id)
+        };
+        // Try resident datastores first, then any; a resident datastore
+        // might have no eligible host, so fall through.
+        for ds_candidates in [&resident, &others] {
+            let mut list = ds_candidates.clone();
+            while !list.is_empty() {
+                let ds = pick_ds(&list).expect("non-empty");
+                if let Some(host) = self.pick_host(inv, ds, mem_mb, None) {
+                    return Some((host, ds));
+                }
+                list.retain(|(id, _)| *id != ds);
+            }
+        }
+        None
+    }
+
+    /// Chooses a migration destination for a VM on `exclude` needing
+    /// `mem_mb`, reachable from `ds`.
+    pub fn pick_host(
+        &mut self,
+        inv: &Inventory,
+        ds: DatastoreId,
+        mem_mb: u64,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let candidates: Vec<HostId> = inv
+            .datastore(ds)?
+            .hosts
+            .iter()
+            .copied()
+            .filter(|h| Some(*h) != exclude)
+            .filter(|h| {
+                inv.host(*h)
+                    .map(|host| host.accepts_placements() && host.mem_free_mb() >= mem_mb)
+                    .unwrap_or(false)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.policy {
+            PlacementPolicy::LeastLoaded => candidates.into_iter().min_by(|a, b| {
+                let (ha, hb) = (
+                    inv.host(*a).expect("filtered"),
+                    inv.host(*b).expect("filtered"),
+                );
+                // Memory pressure first; among equally-loaded hosts,
+                // spread by registered-VM count (without this, a fleet of
+                // powered-off VMs would all pile onto the lowest host id).
+                ha.mem_utilization()
+                    .partial_cmp(&hb.mem_utilization())
+                    .expect("utilization is finite")
+                    .then_with(|| ha.vms.len().cmp(&hb.vms.len()))
+                    .then_with(|| a.cmp(b))
+            }),
+            PlacementPolicy::RoundRobin => {
+                let pick = candidates[self.round_robin_cursor % candidates.len()];
+                self.round_robin_cursor = self.round_robin_cursor.wrapping_add(1);
+                Some(pick)
+            }
+        }
+    }
+
+    /// Placement CPU cost in seconds for an inventory of `hosts` hosts.
+    pub fn cost_secs(base_secs: f64, per_host_us: f64, hosts: usize) -> f64 {
+        base_secs + per_host_us * 1e-6 * hosts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::{DatastoreSpec, EntityId, HostSpec, VmSpec};
+
+    fn dc(hosts: usize, datastores: usize) -> (Inventory, Vec<HostId>, Vec<DatastoreId>) {
+        let mut inv = Inventory::new();
+        let ds_ids: Vec<_> = (0..datastores)
+            .map(|i| inv.add_datastore(DatastoreSpec::new(format!("ds{i}"), 1000.0, 100.0)))
+            .collect();
+        let host_ids: Vec<_> = (0..hosts)
+            .map(|i| inv.add_host(HostSpec::new(format!("h{i}"), 20_000, 65_536)))
+            .collect();
+        for &h in &host_ids {
+            for &d in &ds_ids {
+                inv.connect_host_datastore(h, d).unwrap();
+            }
+        }
+        (inv, host_ids, ds_ids)
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_host() {
+        let (mut inv, hosts, ds) = dc(3, 1);
+        // Load host 0 and 1.
+        for &h in &hosts[..2] {
+            let vm = inv
+                .create_vm("l", VmSpec::new(4, 32_768, 10.0), h, ds[0])
+                .unwrap();
+            inv.power_on(vm).unwrap();
+        }
+        let mut p = Placer::new(PlacementPolicy::LeastLoaded);
+        let (host, _) = p
+            .place(&inv, &TemplateResidency::new(), 10.0, 1024, None)
+            .unwrap();
+        assert_eq!(host, hosts[2]);
+    }
+
+    #[test]
+    fn prefers_resident_datastore_for_linked_clones() {
+        let (mut inv, hosts, ds) = dc(2, 3);
+        let template = inv
+            .create_vm("tmpl", VmSpec::new(1, 1024, 40.0), hosts[0], ds[0])
+            .unwrap();
+        // Make ds[2] hold a seeded copy; ds[1] has more free space but is
+        // not resident.
+        inv.adjust_datastore_usage(ds[2], 500.0).unwrap();
+        let mut residency = TemplateResidency::new();
+        let seeded_disk = cpsim_inventory::DiskId::from_parts(0, 1);
+        residency.seed(template, ds[2], seeded_disk);
+        let mut p = Placer::new(PlacementPolicy::LeastLoaded);
+        let (_, chosen) = p
+            .place(&inv, &residency, 10.0, 1024, Some(template))
+            .unwrap();
+        assert_eq!(chosen, ds[2], "resident datastore wins despite less space");
+        // Without the preference, the emptier datastore wins.
+        let (_, chosen) = p.place(&inv, &residency, 10.0, 1024, None).unwrap();
+        assert_ne!(chosen, ds[2]);
+    }
+
+    #[test]
+    fn no_space_returns_none() {
+        let (mut inv, _hosts, ds) = dc(1, 1);
+        inv.adjust_datastore_usage(ds[0], 999.0).unwrap();
+        let mut p = Placer::default();
+        assert!(p
+            .place(&inv, &TemplateResidency::new(), 10.0, 1024, None)
+            .is_none());
+    }
+
+    #[test]
+    fn no_memory_returns_none() {
+        let (mut inv, hosts, ds) = dc(1, 1);
+        let vm = inv
+            .create_vm("big", VmSpec::new(8, 65_000, 10.0), hosts[0], ds[0])
+            .unwrap();
+        inv.power_on(vm).unwrap();
+        let mut p = Placer::default();
+        assert!(p
+            .place(&inv, &TemplateResidency::new(), 10.0, 10_000, None)
+            .is_none());
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let (inv, hosts, ds) = dc(3, 1);
+        let mut p = Placer::new(PlacementPolicy::RoundRobin);
+        let picks: Vec<_> = (0..3)
+            .map(|_| p.pick_host(&inv, ds[0], 1024, None).unwrap())
+            .collect();
+        assert_eq!(picks, hosts);
+    }
+
+    #[test]
+    fn exclude_skips_source_host() {
+        let (inv, hosts, ds) = dc(2, 1);
+        let mut p = Placer::default();
+        let pick = p.pick_host(&inv, ds[0], 1024, Some(hosts[0])).unwrap();
+        assert_eq!(pick, hosts[1]);
+        // Excluding the only host yields none.
+        let (inv1, hosts1, ds1) = dc(1, 1);
+        assert!(p.pick_host(&inv1, ds1[0], 1024, Some(hosts1[0])).is_none());
+    }
+
+    #[test]
+    fn cost_scales_with_hosts() {
+        let c64 = Placer::cost_secs(0.010, 200.0, 64);
+        let c1024 = Placer::cost_secs(0.010, 200.0, 1024);
+        assert!((c64 - 0.0228).abs() < 1e-9);
+        assert!(c1024 > 4.0 * c64);
+    }
+}

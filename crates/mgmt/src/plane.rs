@@ -1,0 +1,1475 @@
+//! The [`ControlPlane`] orchestrator: executes management operations as
+//! phase programs over shared control-plane resources.
+//!
+//! See the crate docs for the model. The plane is event-driven: callers
+//! deliver [`MgmtEvent`]s with explicit timestamps via
+//! [`ControlPlane::handle`] and route the returned [`Emit`]s.
+
+use std::collections::BTreeMap;
+
+use cpsim_des::{FifoQueue, SimDuration, SimRng, SimTime, Streams};
+use cpsim_hostagent::{AgentFleet, Primitive};
+use cpsim_inventory::{
+    Arena, DatastoreId, DatastoreSpec, HostId, HostSpec, Inventory, PowerState, TaskId, VmId,
+    VmSpec,
+};
+use cpsim_storage::{StoragePool, TemplateResidency, TransferEngine, TransferId, GIB};
+
+use crate::admission::{AdmissionControl, Scope};
+use crate::config::ControlPlaneConfig;
+use crate::op::{CloneMode, OpKind, Operation};
+use crate::placement::Placer;
+use crate::stats::MgmtStats;
+use crate::task::{PhaseClass, Task, TaskReport};
+
+/// Who a CPU/DB job belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Owner {
+    /// A management task.
+    Task(TaskId),
+    /// Background work (heartbeats).
+    Background,
+}
+
+/// A unit of management-server CPU or database work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceJob {
+    /// Whose work this is.
+    pub owner: Owner,
+    /// Phase label for cost breakdowns.
+    pub label: &'static str,
+    /// Sampled service time.
+    pub service: SimDuration,
+}
+
+/// Events the control plane reacts to.
+#[derive(Clone, Debug)]
+pub enum MgmtEvent {
+    /// An operation arrives.
+    Submit(Operation),
+    /// A management-CPU job finished service.
+    CpuDone(ServiceJob),
+    /// A database job finished service.
+    DbDone(ServiceJob),
+    /// A host-agent primitive finished.
+    AgentDone {
+        /// Host it ran on.
+        host: HostId,
+        /// Owning task.
+        task: TaskId,
+        /// The primitive that finished.
+        primitive: Primitive,
+        /// Its sampled service time.
+        service: SimDuration,
+    },
+    /// A datastore bandwidth tick (possibly stale).
+    TransferTick {
+        /// The datastore.
+        datastore: DatastoreId,
+        /// Epoch guarding against staleness.
+        epoch: u64,
+    },
+    /// A host heartbeat is due.
+    Heartbeat {
+        /// Index into the plane's heartbeat slot table.
+        slot: usize,
+    },
+}
+
+/// Outputs of [`ControlPlane::handle`].
+#[derive(Clone, Debug)]
+pub enum Emit {
+    /// Schedule `event` at the given time.
+    At(SimTime, MgmtEvent),
+    /// A task completed successfully.
+    Done(TaskId, TaskReport),
+    /// A task failed.
+    Failed(TaskId, TaskReport),
+}
+
+/// What the phase program asks for next (internal).
+enum Step {
+    Cpu(&'static str, SimDuration),
+    Db(&'static str, SimDuration),
+    Agent(HostId, Primitive),
+    Transfer {
+        src: DatastoreId,
+        dst: DatastoreId,
+        bytes: f64,
+        label: &'static str,
+    },
+    Acquire(Scope),
+    Continue,
+    Done,
+    Fail(String),
+}
+
+struct TransferOwner {
+    task: TaskId,
+    label: &'static str,
+}
+
+/// The management server and everything it orchestrates.
+pub struct ControlPlane {
+    cfg: ControlPlaneConfig,
+    inv: Inventory,
+    storage: StoragePool,
+    residency: TemplateResidency,
+    cpu: FifoQueue<ServiceJob>,
+    db: FifoQueue<ServiceJob>,
+    agents: AgentFleet<TaskId>,
+    transfers: TransferEngine,
+    transfer_owner: BTreeMap<TransferId, TransferOwner>,
+    admission: AdmissionControl,
+    tasks: Arena<TaskId, Task>,
+    placer: Placer,
+    stats: MgmtStats,
+    rng: SimRng,
+    heartbeat_hosts: Vec<HostId>,
+    name_seq: u64,
+}
+
+impl ControlPlane {
+    /// Creates a plane with `cfg`, drawing randomness from `streams`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ControlPlaneConfig::validate`]).
+    pub fn new(cfg: ControlPlaneConfig, streams: Streams) -> Self {
+        cfg.validate().expect("invalid ControlPlaneConfig");
+        let agents = AgentFleet::new(cfg.host_cost.clone(), streams.rng(Streams::SERVICE + 100));
+        ControlPlane {
+            cpu: FifoQueue::new(cfg.effective_cores()),
+            db: FifoQueue::new(cfg.effective_db_connections()),
+            admission: AdmissionControl::new(cfg.limits),
+            agents,
+            transfers: TransferEngine::new(),
+            transfer_owner: BTreeMap::new(),
+            inv: Inventory::new(),
+            storage: StoragePool::new(),
+            residency: TemplateResidency::new(),
+            tasks: Arena::new(),
+            placer: Placer::default(),
+            stats: MgmtStats::new(),
+            rng: streams.rng(Streams::SERVICE),
+            heartbeat_hosts: Vec::new(),
+            name_seq: 0,
+            cfg,
+        }
+    }
+
+    // ---- setup-time helpers (not charged to the simulation) -------------
+
+    /// Adds a datastore to the inventory and registers its copy engine.
+    pub fn add_datastore(&mut self, spec: DatastoreSpec) -> DatastoreId {
+        let id = self.inv.add_datastore(spec);
+        self.transfers
+            .register_datastore(&self.inv, id)
+            .expect("freshly added datastore");
+        id
+    }
+
+    /// Adds a host, its agent, and its heartbeat slot.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = self.inv.add_host(spec);
+        self.agents.add_host(id, self.cfg.agent_concurrency);
+        self.heartbeat_hosts.push(id);
+        id
+    }
+
+    /// Connects a host to a datastore.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either id is stale.
+    pub fn connect(
+        &mut self,
+        host: HostId,
+        ds: DatastoreId,
+    ) -> Result<(), cpsim_inventory::InventoryError> {
+        self.inv.connect_host_datastore(host, ds)
+    }
+
+    /// Installs a template VM with a thick base disk on `(host, ds)` and
+    /// seeds its residency there.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the placement is invalid or the datastore lacks space.
+    pub fn install_template(
+        &mut self,
+        name: &str,
+        spec: VmSpec,
+        host: HostId,
+        ds: DatastoreId,
+    ) -> Result<VmId, String> {
+        let vm = self
+            .inv
+            .create_vm(name, spec, host, ds)
+            .map_err(|e| e.to_string())?;
+        let disk = self
+            .storage
+            .create_base(&mut self.inv, ds, spec.disk_gb)
+            .map_err(|e| e.to_string())?;
+        self.inv.vm_mut(vm).expect("just created").disks.push(disk);
+        self.inv.mark_template(vm).map_err(|e| e.to_string())?;
+        self.residency.seed(vm, ds, disk);
+        Ok(vm)
+    }
+
+    /// Installs a plain VM with a thick base disk (setup-time helper for
+    /// pre-populated datacenters), optionally powered on.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the placement is invalid or capacity is lacking.
+    pub fn install_vm(
+        &mut self,
+        name: &str,
+        spec: VmSpec,
+        host: HostId,
+        ds: DatastoreId,
+        powered_on: bool,
+    ) -> Result<VmId, String> {
+        let vm = self
+            .inv
+            .create_vm(name, spec, host, ds)
+            .map_err(|e| e.to_string())?;
+        let disk = self
+            .storage
+            .create_base(&mut self.inv, ds, spec.disk_gb)
+            .map_err(|e| e.to_string())?;
+        self.inv.vm_mut(vm).expect("just created").disks.push(disk);
+        if powered_on {
+            self.inv.power_on(vm).map_err(|e| e.to_string())?;
+        }
+        Ok(vm)
+    }
+
+    /// Instantly seeds `template` onto `ds` (setup-time helper modeling a
+    /// cloud whose reconfiguration already ran).
+    ///
+    /// # Errors
+    ///
+    /// Fails if ids are stale, the datastore lacks space, or the template
+    /// is already resident there.
+    pub fn seed_template_now(
+        &mut self,
+        template: VmId,
+        ds: DatastoreId,
+    ) -> Result<(), String> {
+        if self.residency.is_resident(template, ds) {
+            return Err(format!("template {template} already resident on {ds}"));
+        }
+        let gb = self
+            .inv
+            .vm_checked(template)
+            .map_err(|e| e.to_string())?
+            .spec
+            .disk_gb;
+        let disk = self
+            .storage
+            .create_base(&mut self.inv, ds, gb)
+            .map_err(|e| e.to_string())?;
+        self.residency.seed(template, ds, disk);
+        Ok(())
+    }
+
+    /// Initial events: one staggered heartbeat per host. Call once after
+    /// setup, before running.
+    pub fn init_events(&self) -> Vec<Emit> {
+        if self.cfg.heartbeat.is_disabled() {
+            return Vec::new();
+        }
+        (0..self.heartbeat_hosts.len())
+            .map(|slot| {
+                Emit::At(
+                    self.cfg.heartbeat.first_beat(slot),
+                    MgmtEvent::Heartbeat { slot },
+                )
+            })
+            .collect()
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// The shared inventory.
+    pub fn inventory(&self) -> &Inventory {
+        &self.inv
+    }
+
+    /// The storage pool.
+    pub fn storage(&self) -> &StoragePool {
+        &self.storage
+    }
+
+    /// Template residency.
+    pub fn residency(&self) -> &TemplateResidency {
+        &self.residency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MgmtStats {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControlPlaneConfig {
+        &self.cfg
+    }
+
+    /// Admission-control state (pending queue, in-flight count).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// Management-CPU utilization through `now` (0..=1).
+    pub fn cpu_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.utilization(now)
+    }
+
+    /// Database utilization through `now` (0..=1).
+    pub fn db_utilization(&self, now: SimTime) -> f64 {
+        self.db.utilization(now)
+    }
+
+    /// Datastore copy-bandwidth busy fraction through `now`.
+    pub fn datastore_busy(&self, ds: DatastoreId, now: SimTime) -> f64 {
+        self.transfers.busy_fraction(ds, now)
+    }
+
+    /// Mean host-agent utilization across hosts through `now`.
+    pub fn mean_agent_utilization(&self, now: SimTime) -> f64 {
+        let hosts: Vec<HostId> = self.inv.hosts().map(|(id, _)| id).collect();
+        if hosts.is_empty() {
+            return 0.0;
+        }
+        hosts
+            .iter()
+            .map(|h| self.agents.utilization(*h, now))
+            .sum::<f64>()
+            / hosts.len() as f64
+    }
+
+    /// Tasks currently in flight (submitted, not yet finished).
+    pub fn tasks_in_flight(&self) -> usize {
+        self.tasks.len()
+    }
+
+    // ---- event handling --------------------------------------------------
+
+    /// Submits an operation at `now`. Equivalent to handling
+    /// [`MgmtEvent::Submit`].
+    pub fn submit(&mut self, now: SimTime, kind: impl Into<Operation>) -> Vec<Emit> {
+        self.handle(now, MgmtEvent::Submit(kind.into()))
+    }
+
+    /// Processes one event, returning follow-up emissions.
+    pub fn handle(&mut self, now: SimTime, event: MgmtEvent) -> Vec<Emit> {
+        let mut out = Vec::new();
+        match event {
+            MgmtEvent::Submit(op) => {
+                self.stats.on_submitted(op.kind.name());
+                let target_vm = match &op.kind {
+                    OpKind::PowerOn { vm }
+                    | OpKind::PowerOff { vm }
+                    | OpKind::Reconfigure { vm }
+                    | OpKind::Snapshot { vm }
+                    | OpKind::RemoveSnapshot { vm }
+                    | OpKind::DestroyVm { vm }
+                    | OpKind::MigrateVm { vm }
+                    | OpKind::RelocateVm { vm, .. } => Some(*vm),
+                    OpKind::CloneVm { source, .. } => Some(*source),
+                    _ => None,
+                };
+                let mut task = Task::new(op, now);
+                task.target_vm = target_vm;
+                let tid = self.tasks.insert(task);
+                self.advance(now, tid, &mut out);
+            }
+            MgmtEvent::CpuDone(job) => {
+                if let Owner::Task(tid) = job.owner {
+                    if let Some(task) = self.tasks.get_mut(tid) {
+                        task.charge(PhaseClass::Cpu, job.label, job.service.as_secs_f64());
+                    }
+                }
+                if let Some(next) = self.cpu.complete(now) {
+                    self.charge_queue_wait(next.job.owner, next.waited);
+                    out.push(Emit::At(now + next.job.service, MgmtEvent::CpuDone(next.job)));
+                }
+                if let Owner::Task(tid) = job.owner {
+                    self.advance(now, tid, &mut out);
+                }
+            }
+            MgmtEvent::DbDone(job) => {
+                if let Owner::Task(tid) = job.owner {
+                    if let Some(task) = self.tasks.get_mut(tid) {
+                        task.charge(PhaseClass::Db, job.label, job.service.as_secs_f64());
+                    }
+                }
+                if let Some(next) = self.db.complete(now) {
+                    self.charge_queue_wait(next.job.owner, next.waited);
+                    out.push(Emit::At(now + next.job.service, MgmtEvent::DbDone(next.job)));
+                }
+                if let Owner::Task(tid) = job.owner {
+                    self.advance(now, tid, &mut out);
+                }
+            }
+            MgmtEvent::AgentDone {
+                host,
+                task,
+                primitive,
+                service,
+            } => {
+                if let Some(t) = self.tasks.get_mut(task) {
+                    t.charge(PhaseClass::HostAgent, primitive.name(), service.as_secs_f64());
+                }
+                match self.agents.complete(now, host) {
+                    Ok(Some(next)) => {
+                        self.charge_queue_wait(Owner::Task(next.job), next.waited);
+                        out.push(Emit::At(
+                            now + next.service,
+                            MgmtEvent::AgentDone {
+                                host,
+                                task: next.job,
+                                primitive: next.primitive,
+                                service: next.service,
+                            },
+                        ));
+                    }
+                    Ok(None) => {}
+                    Err(_) => {} // host removed mid-flight; nothing to start
+                }
+                self.advance(now, task, &mut out);
+            }
+            MgmtEvent::TransferTick { datastore, epoch } => {
+                if let Some((finished, next)) = self.transfers.on_tick(now, datastore, epoch) {
+                    if let Some(ev) = next {
+                        out.push(Emit::At(
+                            ev.at,
+                            MgmtEvent::TransferTick {
+                                datastore: ev.datastore,
+                                epoch: ev.epoch,
+                            },
+                        ));
+                    }
+                    for xid in finished {
+                        if let Some(owner) = self.transfer_owner.remove(&xid) {
+                            if let Some(t) = self.tasks.get_mut(owner.task) {
+                                let started =
+                                    t.transfer_started.take().unwrap_or(now);
+                                t.charge(
+                                    PhaseClass::DataTransfer,
+                                    owner.label,
+                                    now.since(started).as_secs_f64(),
+                                );
+                            }
+                            self.advance(now, owner.task, &mut out);
+                        }
+                    }
+                }
+            }
+            MgmtEvent::Heartbeat { slot } => {
+                self.on_heartbeat(now, slot, &mut out);
+            }
+        }
+        out
+    }
+
+    fn on_heartbeat(&mut self, now: SimTime, slot: usize, out: &mut Vec<Emit>) {
+        let Some(&host) = self.heartbeat_hosts.get(slot) else {
+            return;
+        };
+        if self.inv.host(host).is_none() {
+            return; // host removed: stop its beats
+        }
+        let hb = self.cfg.heartbeat;
+        if !hb.mgmt_cpu.is_zero() {
+            self.enqueue_cpu(now, Owner::Background, "heartbeat", hb.mgmt_cpu, out);
+        }
+        if !hb.db_time.is_zero() {
+            self.enqueue_db(now, Owner::Background, "heartbeat", hb.db_time, out);
+        }
+        out.push(Emit::At(now + hb.interval, MgmtEvent::Heartbeat { slot }));
+    }
+
+    fn charge_queue_wait(&mut self, owner: Owner, waited: SimDuration) {
+        if let Owner::Task(tid) = owner {
+            if let Some(t) = self.tasks.get_mut(tid) {
+                t.queue_secs += waited.as_secs_f64();
+            }
+        }
+    }
+
+    fn enqueue_cpu(
+        &mut self,
+        now: SimTime,
+        owner: Owner,
+        label: &'static str,
+        service: SimDuration,
+        out: &mut Vec<Emit>,
+    ) {
+        let job = ServiceJob {
+            owner,
+            label,
+            service,
+        };
+        if let Some(started) = self.cpu.arrive(now, job) {
+            out.push(Emit::At(
+                now + started.job.service,
+                MgmtEvent::CpuDone(started.job),
+            ));
+        }
+    }
+
+    fn enqueue_db(
+        &mut self,
+        now: SimTime,
+        owner: Owner,
+        label: &'static str,
+        service: SimDuration,
+        out: &mut Vec<Emit>,
+    ) {
+        let job = ServiceJob {
+            owner,
+            label,
+            service,
+        };
+        if let Some(started) = self.db.arrive(now, job) {
+            out.push(Emit::At(
+                now + started.job.service,
+                MgmtEvent::DbDone(started.job),
+            ));
+        }
+    }
+
+    /// Drives `tid` forward until it blocks on a resource or finishes.
+    fn advance(&mut self, now: SimTime, tid: TaskId, out: &mut Vec<Emit>) {
+        loop {
+            if self.tasks.get(tid).is_none() {
+                return; // already finished (defensive)
+            }
+            let step = self.plan_step(now, tid, out);
+            match step {
+                Step::Cpu(label, dur) => {
+                    self.enqueue_cpu(now, Owner::Task(tid), label, dur, out);
+                    return;
+                }
+                Step::Db(label, dur) => {
+                    self.enqueue_db(now, Owner::Task(tid), label, dur, out);
+                    return;
+                }
+                Step::Agent(host, primitive) => {
+                    match self.agents.submit(now, host, primitive, tid) {
+                        Ok(Some(start)) => {
+                            out.push(Emit::At(
+                                now + start.service,
+                                MgmtEvent::AgentDone {
+                                    host,
+                                    task: tid,
+                                    primitive: start.primitive,
+                                    service: start.service,
+                                },
+                            ));
+                        }
+                        Ok(None) => {} // queued at the host
+                        Err(e) => {
+                            self.finish(now, tid, Some(e.to_string()), out);
+                        }
+                    }
+                    return;
+                }
+                Step::Transfer {
+                    src,
+                    dst,
+                    bytes,
+                    label,
+                } => {
+                    let (xid, events) = self.transfers.start(now, src, dst, bytes);
+                    self.transfer_owner.insert(xid, TransferOwner { task: tid, label });
+                    if let Some(t) = self.tasks.get_mut(tid) {
+                        t.transfer_started = Some(now);
+                    }
+                    for ev in events {
+                        out.push(Emit::At(
+                            ev.at,
+                            MgmtEvent::TransferTick {
+                                datastore: ev.datastore,
+                                epoch: ev.epoch,
+                            },
+                        ));
+                    }
+                    return;
+                }
+                Step::Acquire(scope) => {
+                    if self.admission.try_acquire(&scope) {
+                        self.tasks.get_mut(tid).expect("live").scope = Some(scope);
+                        continue;
+                    }
+                    let t = self.tasks.get_mut(tid).expect("live");
+                    t.parked_at = Some(now);
+                    self.admission.park(tid, scope);
+                    return;
+                }
+                Step::Continue => continue,
+                Step::Done => {
+                    self.finish(now, tid, None, out);
+                    return;
+                }
+                Step::Fail(err) => {
+                    self.finish(now, tid, Some(err), out);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Completes `tid`, releases its scope, resumes parked tasks, and
+    /// emits the report.
+    fn finish(&mut self, now: SimTime, tid: TaskId, error: Option<String>, out: &mut Vec<Emit>) {
+        let task = self.tasks.remove(tid).expect("finishing a live task");
+        let report = TaskReport {
+            kind: task.op.kind.name(),
+            tag: task.op.tag,
+            submitted_at: task.submitted_at,
+            completed_at: now,
+            latency: now.since(task.submitted_at),
+            cpu_secs: task.cpu_secs,
+            db_secs: task.db_secs,
+            agent_secs: task.agent_secs,
+            data_secs: task.data_secs,
+            queue_secs: task.queue_secs,
+            admission_secs: task.admission_secs,
+            produced_vm: task.produced_vm,
+            target_vm: task.target_vm,
+            placement: task.placement,
+            error: error.clone(),
+            breakdown: task.breakdown.clone(),
+        };
+        self.stats.on_finished(&report);
+        let kind = report.kind;
+        out.push(if error.is_none() {
+            Emit::Done(tid, report)
+        } else {
+            Emit::Failed(tid, report)
+        });
+        if let Some(scope) = task.scope {
+            let resumed = self.admission.release(&scope);
+            for (rtid, rscope) in resumed {
+                if let Some(t) = self.tasks.get_mut(rtid) {
+                    t.scope = Some(rscope);
+                    if let Some(parked) = t.parked_at.take() {
+                        t.admission_secs += now.since(parked).as_secs_f64();
+                    }
+                }
+                self.advance(now, rtid, out);
+            }
+        }
+        debug_assert!(
+            self.inv.check_invariants().is_ok(),
+            "inventory invariants violated after {kind:?}"
+        );
+    }
+
+    fn sample(&mut self, dist: &cpsim_des::Dist) -> SimDuration {
+        SimDuration::from_secs_f64(dist.sample(&mut self.rng))
+    }
+
+    fn next_clone_name(&mut self) -> String {
+        self.name_seq += 1;
+        format!("vm-{:06}", self.name_seq)
+    }
+
+    /// The per-operation phase program. Called with the task's stage
+    /// counter already advanced to the stage to plan.
+    #[allow(clippy::too_many_lines)]
+    fn plan_step(&mut self, now: SimTime, tid: TaskId, out: &mut Vec<Emit>) -> Step {
+        let (kind, stage) = {
+            let t = self.tasks.get_mut(tid).expect("live task");
+            t.stage += 1;
+            (t.op.kind.clone(), t.stage)
+        };
+
+        // Shared prelude for every operation.
+        if stage == 1 {
+            let d = self.sample(&self.cfg.cost.api_ingress.clone());
+            return Step::Cpu("api-ingress", d);
+        }
+        if stage == 2 {
+            if self.cfg.db_batching {
+                // Batching folds the task record into the first real write.
+                return Step::Continue;
+            }
+            let d = self.sample(&self.cfg.cost.db_task_record.clone());
+            return Step::Db("task-record", d);
+        }
+
+        match kind {
+            OpKind::CreateVm { spec } => self.plan_create(tid, stage, spec),
+            OpKind::CloneVm { source, mode } => self.plan_clone(tid, stage, source, mode),
+            OpKind::PowerOn { vm } => self.plan_power(tid, stage, vm, true),
+            OpKind::PowerOff { vm } => self.plan_power(tid, stage, vm, false),
+            OpKind::Reconfigure { vm } => self.plan_simple_vm_op(
+                tid,
+                stage,
+                vm,
+                Primitive::ReconfigureVm,
+            ),
+            OpKind::Snapshot { vm } => self.plan_snapshot(tid, stage, vm),
+            OpKind::RemoveSnapshot { vm } => self.plan_remove_snapshot(tid, stage, vm),
+            OpKind::DestroyVm { vm } => self.plan_destroy(tid, stage, vm),
+            OpKind::MigrateVm { vm } => self.plan_migrate(tid, stage, vm),
+            OpKind::RelocateVm { vm, dst } => self.plan_relocate(tid, stage, vm, dst),
+            OpKind::SeedTemplate { template, dst } => self.plan_seed(tid, stage, template, dst),
+            OpKind::AddHost { spec, datastores } => {
+                self.plan_add_host(now, tid, stage, spec, datastores, out)
+            }
+            OpKind::RescanDatastores { host } => self.plan_rescan(tid, stage, host),
+        }
+    }
+
+    // ---- per-op programs --------------------------------------------------
+
+    fn placement_step(&mut self) -> Step {
+        let hosts = self.inv.counts().hosts;
+        let base = self.sample(&self.cfg.cost.placement_base.clone());
+        let per_host = SimDuration::from_secs_f64(
+            self.cfg.cost.placement_per_host_us * 1e-6 * hosts as f64,
+        );
+        Step::Cpu("placement", base + per_host)
+    }
+
+    fn plan_create(&mut self, tid: TaskId, stage: u32, spec: VmSpec) -> Step {
+        match stage {
+            3 => self.placement_step(),
+            4 => {
+                let Some((host, ds)) =
+                    self.placer
+                        .place(&self.inv, &self.residency, spec.disk_gb, spec.mem_mb, None)
+                else {
+                    return Step::Fail("placement failed: no capacity".into());
+                };
+                self.tasks.get_mut(tid).expect("live").placement = Some((host, ds));
+                Step::Acquire(Scope::global_only().with_host(host).with_datastore(ds))
+            }
+            5 => {
+                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                Step::Db("insert-vm", d)
+            }
+            6 => {
+                let (host, ds) = self.tasks.get(tid).expect("live").placement.expect("placed");
+                let name = self.next_clone_name();
+                let vm = match self.inv.create_vm(name, spec, host, ds) {
+                    Ok(vm) => vm,
+                    Err(e) => return Step::Fail(e.to_string()),
+                };
+                let disk = match self.storage.create_base(&mut self.inv, ds, spec.disk_gb) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        let _ = self.inv.destroy_vm(vm);
+                        return Step::Fail(e.to_string());
+                    }
+                };
+                self.inv.vm_mut(vm).expect("just created").disks.push(disk);
+                self.tasks.get_mut(tid).expect("live").produced_vm = Some(vm);
+                Step::Continue
+            }
+            7 => Step::Agent(self.placed_host(tid), Primitive::CreateVmFiles),
+            8 => Step::Agent(self.placed_host(tid), Primitive::RegisterVm),
+            9 => {
+                let d = self.sample(&self.cfg.cost.result_processing.clone());
+                Step::Cpu("result-processing", d)
+            }
+            10 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("finalize-records", d)
+            }
+            11 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_clone(&mut self, tid: TaskId, stage: u32, source: VmId, mode: CloneMode) -> Step {
+        match stage {
+            3 => {
+                if mode == CloneMode::Instant {
+                    // No placement scan: the fork lands on the parent's
+                    // host and datastore by construction.
+                    let d = self.sample(&self.cfg.cost.placement_base.clone());
+                    return Step::Cpu("placement", d);
+                }
+                self.placement_step()
+            }
+            4 => {
+                let src = match self.inv.vm(source) {
+                    Some(v) => v,
+                    None => return Step::Fail(format!("clone source {source} no longer exists")),
+                };
+                if mode == CloneMode::Instant {
+                    let (host, ds) = (src.host, src.datastore);
+                    self.tasks.get_mut(tid).expect("live").placement = Some((host, ds));
+                    return Step::Acquire(
+                        Scope::global_only()
+                            .with_host(host)
+                            .with_datastore(ds)
+                            .with_vm_shared(source),
+                    );
+                }
+                let spec = src.spec;
+                let prefer = (mode == CloneMode::Linked
+                    && self.cfg.placement_prefers_resident)
+                    .then_some(source);
+                let disk_need = match mode {
+                    CloneMode::Full => spec.disk_gb,
+                    CloneMode::Linked => self.cfg.linked_delta_gb,
+                    CloneMode::Instant => unreachable!("instant handled above"),
+                };
+                let mut placement =
+                    self.placer
+                        .place(&self.inv, &self.residency, disk_need, spec.mem_mb, prefer);
+                if mode == CloneMode::Linked {
+                    // If we landed on a non-resident datastore the shadow
+                    // copy needs space for a full base as well.
+                    if let Some((_, ds)) = placement {
+                        if !self.residency.is_resident(source, ds) {
+                            placement = self.placer.place(
+                                &self.inv,
+                                &self.residency,
+                                spec.disk_gb + self.cfg.linked_delta_gb,
+                                spec.mem_mb,
+                                prefer,
+                            );
+                        }
+                    }
+                }
+                let Some((host, ds)) = placement else {
+                    return Step::Fail("placement failed: no capacity".into());
+                };
+                self.tasks.get_mut(tid).expect("live").placement = Some((host, ds));
+                Step::Acquire(
+                    Scope::global_only()
+                        .with_host(host)
+                        .with_datastore(ds)
+                        .with_vm_shared(source),
+                )
+            }
+            5 => {
+                let src_host = match self.inv.vm(source) {
+                    Some(v) => v.host,
+                    None => return Step::Fail("clone source vanished".into()),
+                };
+                let prim = if mode == CloneMode::Instant {
+                    Primitive::InstantFork
+                } else {
+                    Primitive::PrepareClone
+                };
+                Step::Agent(src_host, prim)
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                Step::Db("insert-vm", d)
+            }
+            7 => {
+                // Create the VM record and kick off data materialization.
+                let (host, ds) = self.tasks.get(tid).expect("live").placement.expect("placed");
+                let (spec, src_ds) = match self.inv.vm(source) {
+                    Some(v) => (v.spec, v.datastore),
+                    None => return Step::Fail("clone source vanished".into()),
+                };
+                let name = self.next_clone_name();
+                let vm = match self.inv.create_vm(name, spec, host, ds) {
+                    Ok(vm) => vm,
+                    Err(e) => return Step::Fail(e.to_string()),
+                };
+                self.tasks.get_mut(tid).expect("live").produced_vm = Some(vm);
+                match mode {
+                    CloneMode::Instant => {
+                        let parent = match self.inv.vm(source).and_then(|v| v.disks.last().copied())
+                        {
+                            Some(d) => d,
+                            None => return Step::Fail("instant-clone source has no disks".into()),
+                        };
+                        let delta = match self.storage.create_delta(
+                            &mut self.inv,
+                            parent,
+                            self.cfg.linked_delta_gb,
+                        ) {
+                            Ok(d) => d,
+                            Err(e) => return Step::Fail(e.to_string()),
+                        };
+                        self.inv.vm_mut(vm).expect("live").disks.push(delta);
+                        Step::Continue
+                    }
+                    CloneMode::Full => {
+                        let disk =
+                            match self.storage.create_base(&mut self.inv, ds, spec.disk_gb) {
+                                Ok(d) => d,
+                                Err(e) => return Step::Fail(e.to_string()),
+                            };
+                        self.tasks.get_mut(tid).expect("live").work_disk = Some(disk);
+                        Step::Transfer {
+                            src: src_ds,
+                            dst: ds,
+                            bytes: spec.disk_gb * GIB,
+                            label: "clone-copy",
+                        }
+                    }
+                    CloneMode::Linked => {
+                        if self.residency.resident_disk(source, ds).is_some() {
+                            Step::Transfer {
+                                src: ds,
+                                dst: ds,
+                                bytes: self.cfg.linked_metadata_bytes,
+                                label: "clone-metadata",
+                            }
+                        } else {
+                            // Shadow copy: materialize a full base first.
+                            let disk =
+                                match self.storage.create_base(&mut self.inv, ds, spec.disk_gb) {
+                                    Ok(d) => d,
+                                    Err(e) => return Step::Fail(e.to_string()),
+                                };
+                            let t = self.tasks.get_mut(tid).expect("live");
+                            t.work_disk = Some(disk);
+                            t.shadow_copy = true;
+                            Step::Transfer {
+                                src: src_ds,
+                                dst: ds,
+                                bytes: spec.disk_gb * GIB,
+                                label: "shadow-copy",
+                            }
+                        }
+                    }
+                }
+            }
+            8 => {
+                // Wire up disks now that data movement is done.
+                let (_, ds) = self.tasks.get(tid).expect("live").placement.expect("placed");
+                let vm = self.tasks.get(tid).expect("live").produced_vm.expect("created");
+                match mode {
+                    CloneMode::Instant => return Step::Continue,
+                    CloneMode::Full => {
+                        let disk = self.tasks.get(tid).expect("live").work_disk.expect("created");
+                        self.inv.vm_mut(vm).expect("live").disks.push(disk);
+                    }
+                    CloneMode::Linked => {
+                        let (shadow, shadow_disk) = {
+                            let t = self.tasks.get(tid).expect("live");
+                            (t.shadow_copy, t.work_disk)
+                        };
+                        let parent = if shadow {
+                            shadow_disk.expect("shadow created")
+                        } else {
+                            self.residency
+                                .resident_disk(source, ds)
+                                .expect("checked resident at stage 7")
+                        };
+                        let delta = match self.storage.create_delta(
+                            &mut self.inv,
+                            parent,
+                            self.cfg.linked_delta_gb,
+                        ) {
+                            Ok(d) => d,
+                            Err(e) => return Step::Fail(e.to_string()),
+                        };
+                        self.inv.vm_mut(vm).expect("live").disks.push(delta);
+                        if shadow {
+                            // Several clones may have raced to make the
+                            // first copy on this datastore (the shadow-VM
+                            // stampede of the real stack). The winner's
+                            // copy becomes the resident replica; a loser's
+                            // copy backs only its own clone and is
+                            // collected when that clone dies.
+                            if self.residency.resident_disk(source, ds).is_none() {
+                                self.residency.seed(source, ds, parent);
+                            } else if let Err(e) = self.storage.detach(&mut self.inv, parent) {
+                                return Step::Fail(e.to_string());
+                            }
+                        }
+                    }
+                }
+                Step::Continue
+            }
+            9 => {
+                if mode == CloneMode::Instant {
+                    // The fork is complete at creation; no destination-side
+                    // customization pass.
+                    return Step::Continue;
+                }
+                Step::Agent(self.placed_host(tid), Primitive::FinalizeClone)
+            }
+            10 => Step::Agent(self.placed_host(tid), Primitive::RegisterVm),
+            11 => {
+                let d = self.sample(&self.cfg.cost.result_processing.clone());
+                Step::Cpu("result-processing", d)
+            }
+            12 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("finalize-records", d)
+            }
+            13 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_power(&mut self, tid: TaskId, stage: u32, vm: VmId, on: bool) -> Step {
+        match stage {
+            3 => {
+                let host = match self.inv.vm(vm) {
+                    Some(v) => v.host,
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                self.tasks.get_mut(tid).expect("live").placement =
+                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
+            }
+            4 => Step::Agent(
+                self.placed_host(tid),
+                if on {
+                    Primitive::PowerOnVm
+                } else {
+                    Primitive::PowerOffVm
+                },
+            ),
+            5 => {
+                let res = if on {
+                    self.inv.power_on(vm)
+                } else {
+                    self.inv.power_off(vm)
+                };
+                match res {
+                    Ok(()) => Step::Continue,
+                    Err(e) => Step::Fail(e.to_string()),
+                }
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-power-state", d)
+            }
+            7 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_simple_vm_op(
+        &mut self,
+        tid: TaskId,
+        stage: u32,
+        vm: VmId,
+        primitive: Primitive,
+    ) -> Step {
+        match stage {
+            3 => {
+                let host = match self.inv.vm(vm) {
+                    Some(v) => v.host,
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                self.tasks.get_mut(tid).expect("live").placement =
+                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
+            }
+            4 => Step::Agent(self.placed_host(tid), primitive),
+            5 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-config", d)
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_snapshot(&mut self, tid: TaskId, stage: u32, vm: VmId) -> Step {
+        match stage {
+            3 => {
+                let host = match self.inv.vm(vm) {
+                    Some(v) => v.host,
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                self.tasks.get_mut(tid).expect("live").placement =
+                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
+            }
+            4 => Step::Agent(self.placed_host(tid), Primitive::CreateSnapshot),
+            5 => {
+                let disk = match self.inv.vm(vm).and_then(|v| v.disks.last().copied()) {
+                    Some(d) => d,
+                    None => return Step::Fail(format!("vm {vm} has no disks to snapshot")),
+                };
+                match self
+                    .storage
+                    .snapshot(&mut self.inv, disk, self.cfg.snapshot_delta_gb)
+                {
+                    Ok(new_top) => {
+                        let v = self.inv.vm_mut(vm).expect("live");
+                        *v.disks.last_mut().expect("non-empty") = new_top;
+                        Step::Continue
+                    }
+                    Err(e) => Step::Fail(e.to_string()),
+                }
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-snapshot", d)
+            }
+            7 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_remove_snapshot(&mut self, tid: TaskId, stage: u32, vm: VmId) -> Step {
+        match stage {
+            3 => {
+                let host = match self.inv.vm(vm) {
+                    Some(v) => v.host,
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                self.tasks.get_mut(tid).expect("live").placement =
+                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
+            }
+            4 => Step::Agent(self.placed_host(tid), Primitive::RemoveSnapshot),
+            5 => {
+                let (disk, ds) = match self.inv.vm(vm) {
+                    Some(v) => match v.disks.last().copied() {
+                        Some(d) => (d, v.datastore),
+                        None => return Step::Fail(format!("vm {vm} has no disks")),
+                    },
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                match self.storage.consolidate(&mut self.inv, disk) {
+                    Ok((merged_into, bytes)) => {
+                        let v = self.inv.vm_mut(vm).expect("live");
+                        *v.disks.last_mut().expect("non-empty") = merged_into;
+                        Step::Transfer {
+                            src: ds,
+                            dst: ds,
+                            bytes,
+                            label: "snapshot-merge",
+                        }
+                    }
+                    Err(e) => Step::Fail(e.to_string()),
+                }
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-snapshot", d)
+            }
+            7 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_destroy(&mut self, tid: TaskId, stage: u32, vm: VmId) -> Step {
+        match stage {
+            3 => {
+                let v = match self.inv.vm(vm) {
+                    Some(v) => v,
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                if v.power == PowerState::On {
+                    return Step::Fail(format!("vm {vm} is powered on"));
+                }
+                self.tasks.get_mut(tid).expect("live").placement = Some((v.host, v.datastore));
+                Step::Acquire(Scope::global_only().with_host(v.host).with_vm(vm))
+            }
+            4 => Step::Agent(self.placed_host(tid), Primitive::UnregisterVm),
+            5 => Step::Agent(self.placed_host(tid), Primitive::DeleteVmFiles),
+            6 => {
+                let disks = match self.inv.vm(vm) {
+                    Some(v) => v.disks.clone(),
+                    None => return Step::Fail(format!("vm {vm} vanished mid-destroy")),
+                };
+                for d in disks {
+                    if let Err(e) = self.storage.detach(&mut self.inv, d) {
+                        return Step::Fail(e.to_string());
+                    }
+                }
+                if let Err(e) = self.inv.destroy_vm(vm) {
+                    return Step::Fail(e.to_string());
+                }
+                Step::Continue
+            }
+            7 => {
+                let d = self.sample(&self.cfg.cost.result_processing.clone());
+                Step::Cpu("result-processing", d)
+            }
+            8 => {
+                let d = self.sample(&self.cfg.cost.db_delete.clone());
+                Step::Db("delete-records", d)
+            }
+            9 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_migrate(&mut self, tid: TaskId, stage: u32, vm: VmId) -> Step {
+        match stage {
+            3 => self.placement_step(),
+            4 => {
+                let (src_host, ds, mem) = match self.inv.vm(vm) {
+                    Some(v) => (v.host, v.datastore, v.spec.mem_mb),
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                let Some(dst_host) = self.placer.pick_host(&self.inv, ds, mem, Some(src_host))
+                else {
+                    return Step::Fail("migration placement failed: no destination host".into());
+                };
+                self.tasks.get_mut(tid).expect("live").placement = Some((dst_host, ds));
+                Step::Acquire(
+                    Scope::global_only()
+                        .with_host(src_host)
+                        .with_host2(dst_host)
+                        .with_vm(vm),
+                )
+            }
+            5 => {
+                let src_host = match self.inv.vm(vm) {
+                    Some(v) => v.host,
+                    None => return Step::Fail("vm vanished".into()),
+                };
+                Step::Agent(src_host, Primitive::MigrateSource)
+            }
+            6 => Step::Agent(self.placed_host(tid), Primitive::MigrateDest),
+            7 => {
+                let dst = self.placed_host(tid);
+                match self.inv.relocate_vm(vm, dst) {
+                    Ok(()) => Step::Continue,
+                    Err(e) => Step::Fail(e.to_string()),
+                }
+            }
+            8 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-placement", d)
+            }
+            9 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_relocate(&mut self, tid: TaskId, stage: u32, vm: VmId, dst: DatastoreId) -> Step {
+        match stage {
+            3 => {
+                let v = match self.inv.vm(vm) {
+                    Some(v) => v,
+                    None => return Step::Fail(format!("vm {vm} no longer exists")),
+                };
+                if v.datastore == dst {
+                    return Step::Fail("relocate source and destination are the same".into());
+                }
+                self.tasks.get_mut(tid).expect("live").placement = Some((v.host, dst));
+                Step::Acquire(
+                    Scope::global_only()
+                        .with_host(v.host)
+                        .with_datastore(dst)
+                        .with_vm(vm),
+                )
+            }
+            4 => {
+                let (src_ds, total_gb) = match self.inv.vm(vm) {
+                    Some(v) => {
+                        let total: f64 = v
+                            .disks
+                            .iter()
+                            .filter_map(|d| self.storage.disk(*d))
+                            .map(|d| d.allocated_gb)
+                            .sum();
+                        (v.datastore, total)
+                    }
+                    None => return Step::Fail("vm vanished".into()),
+                };
+                let new_disk = match self.storage.create_base(&mut self.inv, dst, total_gb) {
+                    Ok(d) => d,
+                    Err(e) => return Step::Fail(e.to_string()),
+                };
+                self.tasks.get_mut(tid).expect("live").work_disk = Some(new_disk);
+                Step::Transfer {
+                    src: src_ds,
+                    dst,
+                    bytes: total_gb * GIB,
+                    label: "relocate-copy",
+                }
+            }
+            5 => {
+                let new_disk = self.tasks.get(tid).expect("live").work_disk.expect("created");
+                let old_disks = match self.inv.vm(vm) {
+                    Some(v) => v.disks.clone(),
+                    None => return Step::Fail("vm vanished".into()),
+                };
+                for d in old_disks {
+                    if let Err(e) = self.storage.detach(&mut self.inv, d) {
+                        return Step::Fail(e.to_string());
+                    }
+                }
+                let v = self.inv.vm_mut(vm).expect("live");
+                v.disks = vec![new_disk];
+                v.datastore = dst;
+                Step::Continue
+            }
+            6 => Step::Agent(self.placed_host(tid), Primitive::ReconfigureVm),
+            7 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-placement", d)
+            }
+            8 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_seed(&mut self, tid: TaskId, stage: u32, template: VmId, dst: DatastoreId) -> Step {
+        match stage {
+            3 => {
+                if self.residency.is_resident(template, dst) {
+                    return Step::Fail(format!("template {template} already resident on {dst}"));
+                }
+                Step::Acquire(Scope::global_only().with_datastore(dst))
+            }
+            4 => {
+                let (src_ds, gb) = match self.inv.vm(template) {
+                    Some(v) => (v.datastore, v.spec.disk_gb),
+                    None => return Step::Fail(format!("template {template} no longer exists")),
+                };
+                let disk = match self.storage.create_base(&mut self.inv, dst, gb) {
+                    Ok(d) => d,
+                    Err(e) => return Step::Fail(e.to_string()),
+                };
+                self.tasks.get_mut(tid).expect("live").work_disk = Some(disk);
+                Step::Transfer {
+                    src: src_ds,
+                    dst,
+                    bytes: gb * GIB,
+                    label: "seed-copy",
+                }
+            }
+            5 => {
+                let disk = self.tasks.get(tid).expect("live").work_disk.expect("created");
+                self.residency.seed(template, dst, disk);
+                Step::Continue
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                Step::Db("insert-replica", d)
+            }
+            7 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_add_host(
+        &mut self,
+        now: SimTime,
+        tid: TaskId,
+        stage: u32,
+        spec: HostSpec,
+        datastores: Vec<DatastoreId>,
+        out: &mut Vec<Emit>,
+    ) -> Step {
+        match stage {
+            3 => {
+                let d = self.sample(&self.cfg.cost.host_sync.clone());
+                Step::Cpu("host-sync", d)
+            }
+            4 => {
+                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                Step::Db("insert-host", d)
+            }
+            5 => {
+                let host = self.inv.add_host(spec);
+                for ds in &datastores {
+                    if let Err(e) = self.inv.connect_host_datastore(host, *ds) {
+                        return Step::Fail(e.to_string());
+                    }
+                }
+                self.agents.add_host(host, self.cfg.agent_concurrency);
+                let slot = self.heartbeat_hosts.len();
+                self.heartbeat_hosts.push(host);
+                if !self.cfg.heartbeat.is_disabled() {
+                    out.push(Emit::At(
+                        now + self.cfg.heartbeat.interval,
+                        MgmtEvent::Heartbeat { slot },
+                    ));
+                }
+                self.tasks.get_mut(tid).expect("live").placement =
+                    datastores.first().map(|ds| (host, *ds));
+                Step::Continue
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn plan_rescan(&mut self, tid: TaskId, stage: u32, host: HostId) -> Step {
+        match stage {
+            3 => {
+                if self.inv.host(host).is_none() {
+                    return Step::Fail(format!("host {host} no longer exists"));
+                }
+                let ds = self.inv.host(host).expect("live").datastores.first().copied();
+                self.tasks.get_mut(tid).expect("live").placement =
+                    ds.map(|d| (host, d));
+                Step::Acquire(Scope::global_only().with_host(host))
+            }
+            4 => Step::Agent(host, Primitive::MountDatastore),
+            5 => {
+                let d = self.sample(&self.cfg.cost.db_update.clone());
+                Step::Db("update-storage", d)
+            }
+            6 => {
+                let d = self.sample(&self.cfg.cost.finalize.clone());
+                Step::Cpu("finalize", d)
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn placed_host(&self, tid: TaskId) -> HostId {
+        self.tasks
+            .get(tid)
+            .expect("live")
+            .placement
+            .expect("placement made before agent phases")
+            .0
+    }
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("tasks_in_flight", &self.tasks.len())
+            .field("inventory", &self.inv.counts())
+            .finish()
+    }
+}

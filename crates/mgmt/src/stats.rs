@@ -1,0 +1,218 @@
+//! Control-plane statistics: per-operation latency distributions with the
+//! control/data split, and phase-level cost accounting.
+
+use std::collections::BTreeMap;
+
+use cpsim_metrics::Histogram;
+
+use crate::task::TaskReport;
+
+/// Latency and cost distributions for one operation kind.
+#[derive(Clone, Debug, Default)]
+pub struct KindStats {
+    /// Completed tasks.
+    pub completed: u64,
+    /// Failed tasks.
+    pub failed: u64,
+    /// End-to-end latency, seconds.
+    pub latency: Histogram,
+    /// Management CPU seconds per task.
+    pub cpu: Histogram,
+    /// Database seconds per task.
+    pub db: Histogram,
+    /// Host-agent seconds per task.
+    pub agent: Histogram,
+    /// Data-transfer wall seconds per task.
+    pub data: Histogram,
+    /// Resource-queue wait seconds per task.
+    pub queue: Histogram,
+    /// Admission wait seconds per task.
+    pub admission: Histogram,
+}
+
+/// Aggregated control-plane statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MgmtStats {
+    submitted: u64,
+    by_kind: BTreeMap<&'static str, KindStats>,
+    /// Sum of service seconds by (kind, class, label) — the data behind
+    /// the per-phase cost-breakdown table.
+    phase_totals: BTreeMap<(&'static str, &'static str, &'static str), (f64, u64)>,
+}
+
+impl MgmtStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        MgmtStats::default()
+    }
+
+    /// Notes a submission of `kind`.
+    pub fn on_submitted(&mut self, _kind: &'static str) {
+        self.submitted += 1;
+    }
+
+    /// Records a finished task's report.
+    pub fn on_finished(&mut self, report: &TaskReport) {
+        let ks = self.by_kind.entry(report.kind).or_default();
+        if report.is_success() {
+            ks.completed += 1;
+        } else {
+            ks.failed += 1;
+        }
+        ks.latency.record(report.latency.as_secs_f64());
+        ks.cpu.record(report.cpu_secs);
+        ks.db.record(report.db_secs);
+        ks.agent.record(report.agent_secs);
+        ks.data.record(report.data_secs);
+        ks.queue.record(report.queue_secs);
+        ks.admission.record(report.admission_secs);
+        for (class, label, secs) in &report.breakdown {
+            let entry = self
+                .phase_totals
+                .entry((report.kind, class.name(), label))
+                .or_insert((0.0, 0));
+            entry.0 += secs;
+            entry.1 += 1;
+        }
+    }
+
+    /// Total submissions.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Total completions across kinds.
+    pub fn completed(&self) -> u64 {
+        self.by_kind.values().map(|k| k.completed).sum()
+    }
+
+    /// Total failures across kinds.
+    pub fn failed(&self) -> u64 {
+        self.by_kind.values().map(|k| k.failed).sum()
+    }
+
+    /// Stats for one kind, if any tasks of it finished.
+    pub fn kind(&self, kind: &str) -> Option<&KindStats> {
+        self.by_kind.get(kind)
+    }
+
+    /// Iterates kinds in deterministic order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &KindStats)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterates `(kind, class, label) -> (total_secs, count)` phase totals
+    /// in deterministic order.
+    pub fn phase_totals(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &'static str, f64, u64)> + '_ {
+        self.phase_totals
+            .iter()
+            .map(|((k, c, l), (s, n))| (*k, *c, *l, *s, *n))
+    }
+
+    /// Merges another stats object (for multi-run aggregation).
+    pub fn merge(&mut self, other: &MgmtStats) {
+        self.submitted += other.submitted;
+        for (kind, ks) in &other.by_kind {
+            let mine = self.by_kind.entry(kind).or_default();
+            mine.completed += ks.completed;
+            mine.failed += ks.failed;
+            mine.latency.merge(&ks.latency);
+            mine.cpu.merge(&ks.cpu);
+            mine.db.merge(&ks.db);
+            mine.agent.merge(&ks.agent);
+            mine.data.merge(&ks.data);
+            mine.queue.merge(&ks.queue);
+            mine.admission.merge(&ks.admission);
+        }
+        for (key, (s, n)) in &other.phase_totals {
+            let entry = self.phase_totals.entry(*key).or_insert((0.0, 0));
+            entry.0 += s;
+            entry.1 += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PhaseClass;
+    use cpsim_des::{SimDuration, SimTime};
+
+    fn report(kind: &'static str, latency: f64, data: f64) -> TaskReport {
+        TaskReport {
+            kind,
+            tag: 0,
+            submitted_at: SimTime::ZERO,
+            completed_at: SimTime::ZERO + SimDuration::from_secs_f64(latency),
+            latency: SimDuration::from_secs_f64(latency),
+            cpu_secs: 0.1,
+            db_secs: 0.2,
+            agent_secs: 1.0,
+            data_secs: data,
+            queue_secs: 0.0,
+            admission_secs: 0.0,
+            produced_vm: None,
+            target_vm: None,
+            placement: None,
+            error: None,
+            breakdown: vec![(PhaseClass::Cpu, "api-ingress", 0.1)],
+        }
+    }
+
+    #[test]
+    fn records_by_kind() {
+        let mut s = MgmtStats::new();
+        s.on_submitted("clone-full");
+        s.on_submitted("clone-linked");
+        s.on_finished(&report("clone-full", 120.0, 100.0));
+        s.on_finished(&report("clone-linked", 8.0, 0.0));
+        assert_eq!(s.submitted(), 2);
+        assert_eq!(s.completed(), 2);
+        assert_eq!(s.failed(), 0);
+        let full = s.kind("clone-full").unwrap();
+        assert_eq!(full.completed, 1);
+        assert!((full.latency.mean() - 120.0).abs() < 1e-9);
+        assert!(s.kind("power-on").is_none());
+    }
+
+    #[test]
+    fn failures_counted_separately() {
+        let mut s = MgmtStats::new();
+        let mut r = report("power-on", 2.0, 0.0);
+        r.error = Some("insufficient memory".into());
+        s.on_finished(&r);
+        assert_eq!(s.failed(), 1);
+        assert_eq!(s.completed(), 0);
+    }
+
+    #[test]
+    fn phase_totals_accumulate() {
+        let mut s = MgmtStats::new();
+        s.on_finished(&report("clone-full", 120.0, 100.0));
+        s.on_finished(&report("clone-full", 130.0, 110.0));
+        let rows: Vec<_> = s.phase_totals().collect();
+        assert_eq!(rows.len(), 1);
+        let (kind, class, label, secs, count) = rows[0];
+        assert_eq!((kind, class, label), ("clone-full", "cpu", "api-ingress"));
+        assert!((secs - 0.2).abs() < 1e-12);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = MgmtStats::new();
+        a.on_submitted("x");
+        a.on_finished(&report("clone-full", 100.0, 90.0));
+        let mut b = MgmtStats::new();
+        b.on_submitted("x");
+        b.on_finished(&report("clone-full", 200.0, 180.0));
+        a.merge(&b);
+        assert_eq!(a.submitted(), 2);
+        assert_eq!(a.kind("clone-full").unwrap().latency.count(), 2);
+        let (_, _, _, secs, n) = a.phase_totals().next().unwrap();
+        assert!((secs - 0.2).abs() < 1e-12);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Virtual disk records (VMDKs) and chain structure.
+
+use cpsim_inventory::{DatastoreId, DiskId};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per GiB.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// What backs a disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// A self-contained (thick) disk.
+    Base,
+    /// A copy-on-write delta referencing a parent disk on the same
+    /// datastore. Linked clones and snapshots both use deltas.
+    Delta {
+        /// The disk this delta overlays.
+        parent: DiskId,
+    },
+}
+
+/// A virtual disk.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    /// Logical (guest-visible) size in GiB.
+    pub logical_gb: f64,
+    /// Physical space allocated on the datastore in GiB.
+    pub allocated_gb: f64,
+    /// The datastore holding this disk.
+    pub datastore: DatastoreId,
+    /// Backing kind.
+    pub kind: DiskKind,
+}
+
+impl Disk {
+    /// The parent disk, if this is a delta.
+    pub fn parent(&self) -> Option<DiskId> {
+        match self.kind {
+            DiskKind::Base => None,
+            DiskKind::Delta { parent } => Some(parent),
+        }
+    }
+
+    /// Whether this disk is a COW delta.
+    pub fn is_delta(&self) -> bool {
+        matches!(self.kind, DiskKind::Delta { .. })
+    }
+
+    /// Bytes that a *full copy* of this disk's visible content moves.
+    pub fn full_copy_bytes(&self) -> f64 {
+        self.logical_gb * GIB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    #[test]
+    fn parent_of_base_is_none() {
+        let d = Disk {
+            logical_gb: 40.0,
+            allocated_gb: 40.0,
+            datastore: DatastoreId::from_parts(0, 1),
+            kind: DiskKind::Base,
+        };
+        assert_eq!(d.parent(), None);
+        assert!(!d.is_delta());
+        assert_eq!(d.full_copy_bytes(), 40.0 * GIB);
+    }
+
+    #[test]
+    fn delta_reports_parent() {
+        let p = DiskId::from_parts(3, 1);
+        let d = Disk {
+            logical_gb: 40.0,
+            allocated_gb: 1.0,
+            datastore: DatastoreId::from_parts(0, 1),
+            kind: DiskKind::Delta { parent: p },
+        };
+        assert_eq!(d.parent(), Some(p));
+        assert!(d.is_delta());
+    }
+}

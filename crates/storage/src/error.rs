@@ -1,0 +1,111 @@
+//! Storage error type.
+
+use std::fmt;
+
+use cpsim_inventory::{DatastoreId, DiskId, InventoryError};
+
+/// Errors raised by the storage layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StorageError {
+    /// A disk id did not resolve to a live disk.
+    UnknownDisk(DiskId),
+    /// A delta must live on the same datastore as its parent.
+    CrossDatastoreDelta {
+        /// Datastore of the parent disk.
+        parent_ds: DatastoreId,
+        /// Requested datastore for the delta.
+        requested_ds: DatastoreId,
+    },
+    /// The datastore lacks free space for the allocation.
+    InsufficientSpace {
+        /// The datastore in question.
+        datastore: DatastoreId,
+        /// GiB requested.
+        requested_gb: f64,
+        /// GiB available.
+        available_gb: f64,
+    },
+    /// The disk still has delta children and cannot be removed/merged over.
+    HasChildren(DiskId),
+    /// The disk is attached (in use by a VM).
+    Attached(DiskId),
+    /// The disk is not attached, so the operation is meaningless.
+    NotAttached(DiskId),
+    /// The operation requires a delta disk.
+    NotADelta(DiskId),
+    /// The parent is shared by several children; consolidation would
+    /// corrupt siblings.
+    ParentShared(DiskId),
+    /// An inventory lookup failed.
+    Inventory(InventoryError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownDisk(id) => write!(f, "unknown disk {id}"),
+            StorageError::CrossDatastoreDelta {
+                parent_ds,
+                requested_ds,
+            } => write!(
+                f,
+                "delta must live with its parent on {parent_ds}, not {requested_ds}"
+            ),
+            StorageError::InsufficientSpace {
+                datastore,
+                requested_gb,
+                available_gb,
+            } => write!(
+                f,
+                "datastore {datastore} has {available_gb:.1} GiB free, {requested_gb:.1} GiB requested"
+            ),
+            StorageError::HasChildren(id) => write!(f, "disk {id} still has delta children"),
+            StorageError::Attached(id) => write!(f, "disk {id} is attached to a VM"),
+            StorageError::NotAttached(id) => write!(f, "disk {id} is not attached"),
+            StorageError::NotADelta(id) => write!(f, "disk {id} is not a delta"),
+            StorageError::ParentShared(id) => {
+                write!(f, "parent of disk {id} is shared by other children")
+            }
+            StorageError::Inventory(e) => write!(f, "inventory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Inventory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InventoryError> for StorageError {
+    fn from(e: InventoryError) -> Self {
+        StorageError::Inventory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::InsufficientSpace {
+            datastore: DatastoreId::from_parts(0, 1),
+            requested_gb: 40.0,
+            available_gb: 3.5,
+        };
+        assert!(e.to_string().contains("3.5 GiB free"));
+    }
+
+    #[test]
+    fn wraps_inventory_errors() {
+        let inner = InventoryError::UnknownDatastore(DatastoreId::from_parts(9, 1));
+        let e: StorageError = inner.clone().into();
+        assert_eq!(e, StorageError::Inventory(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

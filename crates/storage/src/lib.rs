@@ -1,0 +1,27 @@
+//! Storage substrate: virtual disks, linked-clone chains, the datastore
+//! copy engine, and template residency.
+//!
+//! This crate supplies the *data plane* of provisioning. Its central
+//! distinction — the one the reproduced paper turns on — is between:
+//!
+//! - **full clones**, which copy every byte of the source disk through the
+//!   destination datastore's shared bandwidth, and
+//! - **linked clones**, which create a small delta disk referencing the
+//!   template's base disk and move almost no data.
+//!
+//! [`StoragePool`] owns disk records and chain/refcount invariants;
+//! [`TransferEngine`] times bulk copies over per-datastore shared
+//! bandwidth; [`TemplateResidency`] tracks which datastores hold a copy of
+//! each template (the thing cloud reconfiguration redistributes).
+
+pub mod disk;
+pub mod error;
+pub mod pool;
+pub mod residency;
+pub mod transfer;
+
+pub use disk::{Disk, DiskKind, GIB};
+pub use error::StorageError;
+pub use pool::StoragePool;
+pub use residency::TemplateResidency;
+pub use transfer::{TransferEngine, TransferEvent, TransferId};

@@ -1,0 +1,479 @@
+//! The [`StoragePool`]: disk records, chain/refcount invariants, and space
+//! accounting pushed into the shared inventory.
+//!
+//! Invariants maintained:
+//!
+//! 1. a delta lives on the same datastore as its parent;
+//! 2. a disk is removed only when it is detached *and* childless; removal
+//!    cascades up the chain through disks that become unreferenced;
+//! 3. datastore `used_gb` always equals the sum of allocated GiB of live
+//!    disks on it (checked by [`StoragePool::check_invariants`]).
+
+use std::collections::BTreeMap;
+
+use cpsim_inventory::{Arena, DatastoreId, DiskId, Inventory};
+
+use crate::disk::{Disk, DiskKind};
+use crate::error::StorageError;
+
+#[derive(Clone, Debug)]
+struct DiskRecord {
+    disk: Disk,
+    /// Number of delta disks whose parent is this disk.
+    children: u32,
+    /// Whether a VM currently references this disk as its active disk.
+    attached: bool,
+}
+
+/// Owner of all virtual disks in the datacenter.
+#[derive(Clone, Debug, Default)]
+pub struct StoragePool {
+    disks: Arena<DiskId, DiskRecord>,
+}
+
+impl StoragePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        StoragePool::default()
+    }
+
+    /// Allocates a thick base disk of `logical_gb` on `datastore` and
+    /// attaches it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the datastore is unknown or lacks space.
+    pub fn create_base(
+        &mut self,
+        inv: &mut Inventory,
+        datastore: DatastoreId,
+        logical_gb: f64,
+    ) -> Result<DiskId, StorageError> {
+        self.reserve(inv, datastore, logical_gb)?;
+        Ok(self.disks.insert(DiskRecord {
+            disk: Disk {
+                logical_gb,
+                allocated_gb: logical_gb,
+                datastore,
+                kind: DiskKind::Base,
+            },
+            children: 0,
+            attached: true,
+        }))
+    }
+
+    /// Creates a COW delta over `parent` with an initial physical
+    /// allocation of `alloc_gb`, attaches it, and bumps the parent's child
+    /// count. Used for linked clones and snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent is unknown or the datastore lacks space.
+    pub fn create_delta(
+        &mut self,
+        inv: &mut Inventory,
+        parent: DiskId,
+        alloc_gb: f64,
+    ) -> Result<DiskId, StorageError> {
+        let (datastore, logical_gb) = {
+            let rec = self.record(parent)?;
+            (rec.disk.datastore, rec.disk.logical_gb)
+        };
+        self.reserve(inv, datastore, alloc_gb)?;
+        self.disks
+            .get_mut(parent)
+            .expect("checked above")
+            .children += 1;
+        Ok(self.disks.insert(DiskRecord {
+            disk: Disk {
+                logical_gb,
+                allocated_gb: alloc_gb,
+                datastore,
+                kind: DiskKind::Delta { parent },
+            },
+            children: 0,
+            attached: true,
+        }))
+    }
+
+    /// Looks up a disk.
+    pub fn disk(&self, id: DiskId) -> Option<&Disk> {
+        self.disks.get(id).map(|r| &r.disk)
+    }
+
+    /// Number of live disks.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Whether the pool holds no disks.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Number of delta children referencing `id`.
+    pub fn children(&self, id: DiskId) -> Result<u32, StorageError> {
+        Ok(self.record(id)?.children)
+    }
+
+    /// Length of the backing chain ending at `id` (1 for a base disk).
+    /// Reads through a linked clone slow down with depth, so provisioning
+    /// policies cap this.
+    pub fn chain_depth(&self, id: DiskId) -> Result<u32, StorageError> {
+        let mut depth = 1;
+        let mut cur = self.record(id)?;
+        while let DiskKind::Delta { parent } = cur.disk.kind {
+            cur = self.record(parent)?;
+            depth += 1;
+        }
+        Ok(depth)
+    }
+
+    /// Grows a delta's physical allocation (copy-on-write fills it as the
+    /// VM runs).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the disk is unknown or the datastore lacks space.
+    pub fn grow(
+        &mut self,
+        inv: &mut Inventory,
+        id: DiskId,
+        delta_gb: f64,
+    ) -> Result<(), StorageError> {
+        let ds = self.record(id)?.disk.datastore;
+        self.reserve(inv, ds, delta_gb)?;
+        self.disks.get_mut(id).expect("checked").disk.allocated_gb += delta_gb;
+        Ok(())
+    }
+
+    /// Detaches `id` (its VM is destroyed) and garbage-collects every disk
+    /// on its chain that becomes unreferenced. Returns the removed disk
+    /// ids, leaf first.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is unknown or not attached.
+    pub fn detach(&mut self, inv: &mut Inventory, id: DiskId) -> Result<Vec<DiskId>, StorageError> {
+        {
+            let rec = self.record(id)?;
+            if !rec.attached {
+                return Err(StorageError::NotAttached(id));
+            }
+        }
+        self.disks.get_mut(id).expect("checked").attached = false;
+        let mut removed = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            let rec = self.record(cur)?;
+            if rec.attached || rec.children > 0 {
+                break;
+            }
+            let parent = rec.disk.parent();
+            let rec = self.disks.remove(cur).expect("live");
+            inv.adjust_datastore_usage(rec.disk.datastore, -rec.disk.allocated_gb)?;
+            removed.push(cur);
+            if let Some(p) = parent {
+                let prec = self.disks.get_mut(p).expect("parents outlive children");
+                prec.children -= 1;
+            }
+            cursor = parent;
+        }
+        Ok(removed)
+    }
+
+    /// Consolidates the delta `id` into its parent (snapshot removal):
+    /// the delta's content is merged down, the delta disappears, and the
+    /// caller's VM should reference the returned parent id afterwards.
+    ///
+    /// Returns `(parent, merged_bytes)`; `merged_bytes` is the data-plane
+    /// cost of the merge.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `id` is an attached, childless delta whose parent has
+    /// no other children and is not itself attached.
+    pub fn consolidate(
+        &mut self,
+        inv: &mut Inventory,
+        id: DiskId,
+    ) -> Result<(DiskId, f64), StorageError> {
+        let (parent, alloc_gb) = {
+            let rec = self.record(id)?;
+            if !rec.attached {
+                return Err(StorageError::NotAttached(id));
+            }
+            if rec.children > 0 {
+                return Err(StorageError::HasChildren(id));
+            }
+            let parent = match rec.disk.kind {
+                DiskKind::Delta { parent } => parent,
+                DiskKind::Base => return Err(StorageError::NotADelta(id)),
+            };
+            (parent, rec.disk.allocated_gb)
+        };
+        {
+            let prec = self.record(parent)?;
+            if prec.children != 1 {
+                return Err(StorageError::ParentShared(id));
+            }
+            if prec.attached {
+                return Err(StorageError::Attached(parent));
+            }
+        }
+        let rec = self.disks.remove(id).expect("checked");
+        inv.adjust_datastore_usage(rec.disk.datastore, -rec.disk.allocated_gb)?;
+        let prec = self.disks.get_mut(parent).expect("checked");
+        prec.children -= 1;
+        prec.attached = true;
+        let merged_bytes = alloc_gb * crate::disk::GIB;
+        Ok((parent, merged_bytes))
+    }
+
+    /// Takes a snapshot of the attached disk `id`: the current disk becomes
+    /// a frozen parent and a fresh attached delta is returned as the VM's
+    /// new active disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is unknown/detached or the datastore lacks space for
+    /// the delta's initial allocation.
+    pub fn snapshot(
+        &mut self,
+        inv: &mut Inventory,
+        id: DiskId,
+        delta_alloc_gb: f64,
+    ) -> Result<DiskId, StorageError> {
+        {
+            let rec = self.record(id)?;
+            if !rec.attached {
+                return Err(StorageError::NotAttached(id));
+            }
+        }
+        self.disks.get_mut(id).expect("checked").attached = false;
+        match self.create_delta(inv, id, delta_alloc_gb) {
+            Ok(delta) => Ok(delta),
+            Err(e) => {
+                // Roll back the detach so the caller's state is unchanged.
+                self.disks.get_mut(id).expect("checked").attached = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Sum of allocated GiB on `datastore` across live disks.
+    pub fn allocated_on(&self, datastore: DatastoreId) -> f64 {
+        self.disks
+            .iter()
+            .filter(|(_, r)| r.disk.datastore == datastore)
+            .map(|(_, r)| r.disk.allocated_gb)
+            .sum()
+    }
+
+    /// Verifies pool invariants against the inventory's accounting.
+    pub fn check_invariants(&self, inv: &Inventory) -> Result<(), String> {
+        let mut child_counts: BTreeMap<DiskId, u32> = BTreeMap::new();
+        for (_, rec) in self.disks.iter() {
+            if let DiskKind::Delta { parent } = rec.disk.kind {
+                *child_counts.entry(parent).or_default() += 1;
+                let prec = self
+                    .disks
+                    .get(parent)
+                    .ok_or_else(|| format!("delta references missing parent {parent}"))?;
+                if prec.disk.datastore != rec.disk.datastore {
+                    return Err("delta on different datastore than parent".into());
+                }
+            }
+        }
+        for (id, rec) in self.disks.iter() {
+            let expect = child_counts.get(&id).copied().unwrap_or(0);
+            if rec.children != expect {
+                return Err(format!(
+                    "disk {id} child count {} != actual {expect}",
+                    rec.children
+                ));
+            }
+            if !rec.attached && rec.children == 0 {
+                return Err(format!("disk {id} is unreferenced but not collected"));
+            }
+        }
+        for (ds_id, ds) in inv.datastores() {
+            let sum = self.allocated_on(ds_id);
+            if (sum - ds.used_gb).abs() > 1e-6 {
+                return Err(format!(
+                    "datastore {ds_id} used_gb {} != sum of disks {sum}",
+                    ds.used_gb
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn record(&self, id: DiskId) -> Result<&DiskRecord, StorageError> {
+        self.disks.get(id).ok_or(StorageError::UnknownDisk(id))
+    }
+
+    fn reserve(
+        &self,
+        inv: &mut Inventory,
+        datastore: DatastoreId,
+        gb: f64,
+    ) -> Result<(), StorageError> {
+        let ds = inv.datastore_checked(datastore)?;
+        if ds.free_gb() < gb {
+            return Err(StorageError::InsufficientSpace {
+                datastore,
+                requested_gb: gb,
+                available_gb: ds.free_gb(),
+            });
+        }
+        inv.adjust_datastore_usage(datastore, gb)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::DatastoreSpec;
+
+    fn setup() -> (Inventory, StoragePool, DatastoreId) {
+        let mut inv = Inventory::new();
+        let ds = inv.add_datastore(DatastoreSpec::new("ds", 1000.0, 100.0));
+        (inv, StoragePool::new(), ds)
+    }
+
+    #[test]
+    fn base_disk_accounting() {
+        let (mut inv, mut pool, ds) = setup();
+        let d = pool.create_base(&mut inv, ds, 40.0).unwrap();
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 40.0);
+        assert_eq!(pool.chain_depth(d).unwrap(), 1);
+        pool.check_invariants(&inv).unwrap();
+        let removed = pool.detach(&mut inv, d).unwrap();
+        assert_eq!(removed, vec![d]);
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 0.0);
+        pool.check_invariants(&inv).unwrap();
+    }
+
+    #[test]
+    fn linked_clone_chain_and_gc() {
+        let (mut inv, mut pool, ds) = setup();
+        let base = pool.create_base(&mut inv, ds, 40.0).unwrap();
+        // base becomes a template backing: detach semantics are managed by
+        // callers; here the template VM keeps it attached.
+        let c1 = pool.create_delta(&mut inv, base, 1.0).unwrap();
+        let c2 = pool.create_delta(&mut inv, base, 1.0).unwrap();
+        assert_eq!(pool.children(base).unwrap(), 2);
+        assert_eq!(pool.chain_depth(c1).unwrap(), 2);
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 42.0);
+        pool.check_invariants(&inv).unwrap();
+
+        // Destroying clone 1 removes only its delta.
+        let removed = pool.detach(&mut inv, c1).unwrap();
+        assert_eq!(removed, vec![c1]);
+        assert_eq!(pool.children(base).unwrap(), 1);
+        pool.check_invariants(&inv).unwrap();
+
+        // Detaching the base while c2 lives keeps it (still referenced)...
+        let removed = pool.detach(&mut inv, base).unwrap();
+        assert!(removed.is_empty());
+        // ...and destroying c2 cascades to the now-unreferenced base.
+        let removed = pool.detach(&mut inv, c2).unwrap();
+        assert_eq!(removed, vec![c2, base]);
+        assert!(pool.is_empty());
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 0.0);
+    }
+
+    #[test]
+    fn delta_requires_space() {
+        let (mut inv, mut pool, ds) = setup();
+        let base = pool.create_base(&mut inv, ds, 999.0).unwrap();
+        let err = pool.create_delta(&mut inv, base, 5.0).unwrap_err();
+        assert!(matches!(err, StorageError::InsufficientSpace { .. }));
+        // failed create must not leak space or refcounts
+        assert_eq!(pool.children(base).unwrap(), 0);
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 999.0);
+        pool.check_invariants(&inv).unwrap();
+    }
+
+    #[test]
+    fn snapshot_freezes_current_disk() {
+        let (mut inv, mut pool, ds) = setup();
+        let d0 = pool.create_base(&mut inv, ds, 20.0).unwrap();
+        let d1 = pool.snapshot(&mut inv, d0, 0.5).unwrap();
+        assert_eq!(pool.chain_depth(d1).unwrap(), 2);
+        assert_eq!(pool.children(d0).unwrap(), 1);
+        // A second snapshot deepens the chain.
+        let d2 = pool.snapshot(&mut inv, d1, 0.5).unwrap();
+        assert_eq!(pool.chain_depth(d2).unwrap(), 3);
+        pool.check_invariants(&inv).unwrap();
+    }
+
+    #[test]
+    fn consolidate_merges_delta_down() {
+        let (mut inv, mut pool, ds) = setup();
+        let d0 = pool.create_base(&mut inv, ds, 20.0).unwrap();
+        let d1 = pool.snapshot(&mut inv, d0, 2.0).unwrap();
+        let (merged_into, bytes) = pool.consolidate(&mut inv, d1).unwrap();
+        assert_eq!(merged_into, d0);
+        assert_eq!(bytes, 2.0 * GIB_LOCAL);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 20.0);
+        pool.check_invariants(&inv).unwrap();
+    }
+
+    const GIB_LOCAL: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn consolidate_rejects_shared_parent() {
+        let (mut inv, mut pool, ds) = setup();
+        let base = pool.create_base(&mut inv, ds, 20.0).unwrap();
+        pool.detach_for_template(base);
+        let c1 = pool.create_delta(&mut inv, base, 1.0).unwrap();
+        let _c2 = pool.create_delta(&mut inv, base, 1.0).unwrap();
+        let err = pool.consolidate(&mut inv, c1).unwrap_err();
+        assert_eq!(err, StorageError::ParentShared(c1));
+    }
+
+    #[test]
+    fn snapshot_rolls_back_on_space_failure() {
+        let (mut inv, mut pool, ds) = setup();
+        let d0 = pool.create_base(&mut inv, ds, 999.5).unwrap();
+        let err = pool.snapshot(&mut inv, d0, 5.0).unwrap_err();
+        assert!(matches!(err, StorageError::InsufficientSpace { .. }));
+        // d0 must still be attached and consistent.
+        pool.check_invariants(&inv).unwrap();
+        let removed = pool.detach(&mut inv, d0).unwrap();
+        assert_eq!(removed, vec![d0]);
+    }
+
+    #[test]
+    fn grow_charges_datastore() {
+        let (mut inv, mut pool, ds) = setup();
+        let base = pool.create_base(&mut inv, ds, 10.0).unwrap();
+        pool.grow(&mut inv, base, 5.0).unwrap();
+        assert_eq!(inv.datastore(ds).unwrap().used_gb, 15.0);
+        assert_eq!(pool.disk(base).unwrap().allocated_gb, 15.0);
+    }
+
+    #[test]
+    fn double_detach_errors() {
+        let (mut inv, mut pool, ds) = setup();
+        let base = pool.create_base(&mut inv, ds, 10.0).unwrap();
+        pool.detach(&mut inv, base).unwrap();
+        assert_eq!(
+            pool.detach(&mut inv, base),
+            Err(StorageError::UnknownDisk(base))
+        );
+    }
+
+    impl StoragePool {
+        /// Test helper: mark a disk detached without GC (simulates a
+        /// template whose VM record owns the disk but callers manage
+        /// lifetime separately).
+        fn detach_for_template(&mut self, id: DiskId) {
+            self.disks.get_mut(id).unwrap().attached = false;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Template residency: which datastores hold a seeded copy of each
+//! template's base disk, and which disk object backs each copy.
+//!
+//! Linked clones need a local parent disk: they can only be created on a
+//! datastore where the template's base is resident (otherwise a shadow
+//! copy must be made first). Keeping enough replicas seeded — and
+//! re-seeding when datastores are added — is exactly the "cloud
+//! reconfiguration" work the paper argues must become aggressive at high
+//! provisioning rates.
+
+use std::collections::BTreeMap;
+
+use cpsim_inventory::{DatastoreId, DiskId, VmId};
+
+/// Tracks seeded template copies per datastore.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateResidency {
+    by_template: BTreeMap<VmId, BTreeMap<DatastoreId, DiskId>>,
+}
+
+impl TemplateResidency {
+    /// Creates an empty residency map.
+    pub fn new() -> Self {
+        TemplateResidency::default()
+    }
+
+    /// Records that `template`'s base content is resident on `datastore`,
+    /// backed by `disk`. Returns the previously-registered disk if the
+    /// location was already seeded.
+    pub fn seed(
+        &mut self,
+        template: VmId,
+        datastore: DatastoreId,
+        disk: DiskId,
+    ) -> Option<DiskId> {
+        self.by_template
+            .entry(template)
+            .or_default()
+            .insert(datastore, disk)
+    }
+
+    /// Removes `template`'s copy from `datastore`, returning its backing
+    /// disk if it was resident.
+    pub fn unseed(&mut self, template: VmId, datastore: DatastoreId) -> Option<DiskId> {
+        let set = self.by_template.get_mut(&template)?;
+        let removed = set.remove(&datastore);
+        if set.is_empty() {
+            self.by_template.remove(&template);
+        }
+        removed
+    }
+
+    /// Whether `template` is resident on `datastore`.
+    pub fn is_resident(&self, template: VmId, datastore: DatastoreId) -> bool {
+        self.resident_disk(template, datastore).is_some()
+    }
+
+    /// The disk backing `template`'s copy on `datastore`, if resident.
+    pub fn resident_disk(&self, template: VmId, datastore: DatastoreId) -> Option<DiskId> {
+        self.by_template
+            .get(&template)
+            .and_then(|s| s.get(&datastore))
+            .copied()
+    }
+
+    /// Datastores holding `template`, in deterministic order.
+    pub fn locations(&self, template: VmId) -> impl Iterator<Item = DatastoreId> + '_ {
+        self.by_template
+            .get(&template)
+            .into_iter()
+            .flat_map(|s| s.keys().copied())
+    }
+
+    /// Number of datastores holding `template`.
+    pub fn replica_count(&self, template: VmId) -> usize {
+        self.by_template.get(&template).map_or(0, |s| s.len())
+    }
+
+    /// Datastores in `all` that do *not* hold `template` — the work list
+    /// for a redistribution pass.
+    pub fn missing_from<'a>(
+        &'a self,
+        template: VmId,
+        all: &'a [DatastoreId],
+    ) -> impl Iterator<Item = DatastoreId> + 'a {
+        all.iter()
+            .copied()
+            .filter(move |ds| !self.is_resident(template, *ds))
+    }
+
+    /// Drops all residency records for `template` (template deleted),
+    /// returning the backing disks so the caller can release them.
+    pub fn forget(&mut self, template: VmId) -> Vec<DiskId> {
+        self.by_template
+            .remove(&template)
+            .map(|s| s.into_values().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of (template, datastore) residency pairs.
+    pub fn total_replicas(&self) -> usize {
+        self.by_template.values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    fn ids() -> (VmId, DatastoreId, DatastoreId, DatastoreId) {
+        (
+            VmId::from_parts(0, 1),
+            DatastoreId::from_parts(0, 1),
+            DatastoreId::from_parts(1, 1),
+            DatastoreId::from_parts(2, 1),
+        )
+    }
+
+    fn disk(n: u32) -> DiskId {
+        DiskId::from_parts(n, 1)
+    }
+
+    #[test]
+    fn seed_and_query() {
+        let (t, a, b, _c) = ids();
+        let mut r = TemplateResidency::new();
+        assert_eq!(r.seed(t, a, disk(1)), None);
+        assert_eq!(r.seed(t, a, disk(2)), Some(disk(1)), "re-seed replaces");
+        assert!(r.is_resident(t, a));
+        assert_eq!(r.resident_disk(t, a), Some(disk(2)));
+        assert!(!r.is_resident(t, b));
+        assert_eq!(r.replica_count(t), 1);
+        assert_eq!(r.total_replicas(), 1);
+    }
+
+    #[test]
+    fn unseed_and_forget() {
+        let (t, a, b, _c) = ids();
+        let mut r = TemplateResidency::new();
+        r.seed(t, a, disk(1));
+        r.seed(t, b, disk(2));
+        assert_eq!(r.unseed(t, a), Some(disk(1)));
+        assert_eq!(r.unseed(t, a), None);
+        assert_eq!(r.replica_count(t), 1);
+        let disks = r.forget(t);
+        assert_eq!(disks, vec![disk(2)]);
+        assert_eq!(r.replica_count(t), 0);
+        assert!(r.forget(t).is_empty());
+    }
+
+    #[test]
+    fn missing_from_lists_unseeded_datastores() {
+        let (t, a, b, c) = ids();
+        let mut r = TemplateResidency::new();
+        r.seed(t, b, disk(1));
+        let all = vec![a, b, c];
+        let missing: Vec<_> = r.missing_from(t, &all).collect();
+        assert_eq!(missing, vec![a, c]);
+    }
+
+    #[test]
+    fn locations_are_deterministic() {
+        let (t, a, b, c) = ids();
+        let mut r = TemplateResidency::new();
+        r.seed(t, c, disk(3));
+        r.seed(t, a, disk(1));
+        r.seed(t, b, disk(2));
+        let locs: Vec<_> = r.locations(t).collect();
+        assert_eq!(locs, vec![a, b, c]);
+    }
+}

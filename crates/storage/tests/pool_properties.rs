@@ -1,0 +1,107 @@
+//! Property-based tests of the storage pool: random interleavings of
+//! clone-tree operations must preserve refcount, GC, and space-accounting
+//! invariants.
+
+use cpsim_inventory::{DatastoreSpec, DiskId, Inventory};
+use cpsim_storage::StoragePool;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    CreateBase { gb: u8 },
+    CreateDelta { parent_idx: usize },
+    Snapshot { disk_idx: usize },
+    Detach { disk_idx: usize },
+    Consolidate { disk_idx: usize },
+    Grow { disk_idx: usize, gb: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..40).prop_map(|gb| Op::CreateBase { gb }),
+        (0usize..64).prop_map(|parent_idx| Op::CreateDelta { parent_idx }),
+        (0usize..64).prop_map(|disk_idx| Op::Snapshot { disk_idx }),
+        (0usize..64).prop_map(|disk_idx| Op::Detach { disk_idx }),
+        (0usize..64).prop_map(|disk_idx| Op::Consolidate { disk_idx }),
+        ((0usize..64), (1u8..8)).prop_map(|(disk_idx, gb)| Op::Grow { disk_idx, gb }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_tree_operations_preserve_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut inv = Inventory::new();
+        let ds = inv.add_datastore(DatastoreSpec::new("ds", 10_000.0, 100.0));
+        let mut pool = StoragePool::new();
+        // Disks we have ever created; operations index into this list and
+        // may legitimately fail on stale/detached ids — what matters is
+        // that the pool never corrupts its state.
+        let mut known: Vec<DiskId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::CreateBase { gb } => {
+                    if let Ok(d) = pool.create_base(&mut inv, ds, f64::from(gb)) {
+                        known.push(d);
+                    }
+                }
+                Op::CreateDelta { parent_idx } => {
+                    if let Some(&p) = known.get(parent_idx) {
+                        if let Ok(d) = pool.create_delta(&mut inv, p, 1.0) {
+                            known.push(d);
+                        }
+                    }
+                }
+                Op::Snapshot { disk_idx } => {
+                    if let Some(&d) = known.get(disk_idx) {
+                        if let Ok(top) = pool.snapshot(&mut inv, d, 0.5) {
+                            known.push(top);
+                        }
+                    }
+                }
+                Op::Detach { disk_idx } => {
+                    if let Some(&d) = known.get(disk_idx) {
+                        let _ = pool.detach(&mut inv, d);
+                    }
+                }
+                Op::Consolidate { disk_idx } => {
+                    if let Some(&d) = known.get(disk_idx) {
+                        let _ = pool.consolidate(&mut inv, d);
+                    }
+                }
+                Op::Grow { disk_idx, gb } => {
+                    if let Some(&d) = known.get(disk_idx) {
+                        let _ = pool.grow(&mut inv, d, f64::from(gb));
+                    }
+                }
+            }
+            // The big one: refcounts, chains, co-location, accounting.
+            prop_assert!(
+                pool.check_invariants(&inv).is_ok(),
+                "{:?}",
+                pool.check_invariants(&inv)
+            );
+        }
+
+        // Tear everything down: after detaching every live disk, the pool
+        // must drain completely and the datastore read zero.
+        let live: Vec<DiskId> = known
+            .iter()
+            .copied()
+            .filter(|d| pool.disk(*d).is_some())
+            .collect();
+        for d in live {
+            let _ = pool.detach(&mut inv, d);
+        }
+        prop_assert_eq!(pool.len(), 0, "pool must GC completely");
+        let used = inv.datastore(ds).unwrap().used_gb;
+        prop_assert!(used.abs() < 1e-9, "datastore shows {used} GiB after teardown");
+    }
+}

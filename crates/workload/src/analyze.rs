@@ -1,0 +1,235 @@
+//! The characterization pass: turns an operation trace into the kinds of
+//! summaries the paper reports (operation mix, arrival burstiness,
+//! latency splits, VM lifetimes).
+
+use std::collections::BTreeMap;
+
+use cpsim_des::SimDuration;
+use cpsim_inventory::VmId;
+use cpsim_metrics::{Summary, TimeSeries};
+
+use crate::trace::TraceLog;
+
+/// Characterization results over one trace.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// Total operations in the trace.
+    pub total_ops: usize,
+    /// Operations per kind.
+    pub op_mix: BTreeMap<String, u64>,
+    /// Submissions per simulated hour.
+    pub hourly: TimeSeries,
+    /// Peak-to-mean ratio of hourly submissions (burstiness).
+    pub peak_to_mean: f64,
+    /// Coefficient of variation of interarrival gaps (1 ≈ Poisson,
+    /// larger = burstier).
+    pub interarrival_cv: f64,
+    /// End-to-end latency per kind, seconds.
+    pub latency_by_kind: BTreeMap<String, Summary>,
+    /// `(control_seconds, data_seconds)` totals per kind.
+    pub split_by_kind: BTreeMap<String, (f64, f64)>,
+    /// VM lifetimes in hours (provision completion → destroy completion).
+    pub lifetimes_hours: Summary,
+    /// Failed operations per kind.
+    pub failures: BTreeMap<String, u64>,
+}
+
+impl TraceAnalysis {
+    /// Analyzes `log`.
+    pub fn from_log(log: &TraceLog) -> Self {
+        let mut op_mix: BTreeMap<String, u64> = BTreeMap::new();
+        let mut failures: BTreeMap<String, u64> = BTreeMap::new();
+        let mut latency_by_kind: BTreeMap<String, Summary> = BTreeMap::new();
+        let mut split_by_kind: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        let mut hourly = TimeSeries::new(SimDuration::from_hours(1));
+        let mut submit_times: Vec<u64> = Vec::with_capacity(log.len());
+        let mut born: BTreeMap<VmId, u64> = BTreeMap::new();
+        let mut lifetimes = Summary::new();
+
+        for r in log.records() {
+            *op_mix.entry(r.kind.clone()).or_default() += 1;
+            if !r.success {
+                *failures.entry(r.kind.clone()).or_default() += 1;
+            }
+            latency_by_kind
+                .entry(r.kind.clone())
+                .or_default()
+                .record(r.latency_s);
+            let split = split_by_kind.entry(r.kind.clone()).or_default();
+            split.0 += r.control_s();
+            split.1 += r.data_s;
+            hourly.mark(r.submitted_at());
+            submit_times.push(r.submitted_us);
+
+            if r.success {
+                if let Some(vm) = r.produced_vm {
+                    born.insert(vm, r.completed_us);
+                }
+                if r.kind == "destroy-vm" {
+                    if let Some(vm) = r.target_vm {
+                        if let Some(b) = born.remove(&vm) {
+                            let hours =
+                                (r.completed_us.saturating_sub(b)) as f64 / 3_600e6;
+                            lifetimes.record(hours);
+                        }
+                    }
+                }
+            }
+        }
+
+        submit_times.sort_unstable();
+        let interarrival_cv = {
+            let gaps: Summary = submit_times
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as f64 / 1e6)
+                .collect();
+            gaps.cv()
+        };
+        let bins = hourly.len();
+        TraceAnalysis {
+            total_ops: log.len(),
+            peak_to_mean: hourly.peak_to_mean(bins),
+            interarrival_cv,
+            op_mix,
+            hourly,
+            latency_by_kind,
+            split_by_kind,
+            lifetimes_hours: lifetimes,
+            failures,
+        }
+    }
+
+    /// Fraction of operations of `kind` (0 if absent).
+    pub fn mix_fraction(&self, kind: &str) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        *self.op_mix.get(kind).unwrap_or(&0) as f64 / self.total_ops as f64
+    }
+
+    /// Fraction of operations that are provisioning (clones/creates).
+    pub fn provisioning_fraction(&self) -> f64 {
+        self.mix_fraction("clone-linked")
+            + self.mix_fraction("clone-full")
+            + self.mix_fraction("create-vm")
+    }
+
+    /// Mean operations per simulated day.
+    pub fn ops_per_day(&self) -> f64 {
+        let hours = self.hourly.len().max(1) as f64;
+        self.total_ops as f64 / hours * 24.0
+    }
+
+    /// Total failed operations.
+    pub fn total_failures(&self) -> u64 {
+        self.failures.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use cpsim_inventory::EntityId;
+
+    fn record(kind: &str, submitted_s: u64, vm: Option<(u32, bool)>) -> TraceRecord {
+        // vm: (index, is_produced)
+        let id = vm.map(|(i, _)| VmId::from_parts(i, 1));
+        let produced = vm.and_then(|(_, p)| if p { id } else { None });
+        let target = vm.and_then(|(_, p)| if p { None } else { id });
+        TraceRecord {
+            submitted_us: submitted_s * 1_000_000,
+            completed_us: submitted_s * 1_000_000 + 1_000_000,
+            kind: kind.to_string(),
+            latency_s: 1.0,
+            cpu_s: 0.1,
+            db_s: 0.1,
+            agent_s: 0.5,
+            data_s: if kind == "clone-full" { 100.0 } else { 0.0 },
+            queue_s: 0.0,
+            admission_s: 0.0,
+            success: true,
+            produced_vm: produced,
+            target_vm: target,
+        }
+    }
+
+    #[test]
+    fn mix_and_fractions() {
+        let log: TraceLog = vec![
+            record("clone-linked", 0, Some((1, true))),
+            record("clone-linked", 10, Some((2, true))),
+            record("power-on", 20, None),
+            record("clone-full", 30, Some((3, true))),
+        ]
+        .into_iter()
+        .collect();
+        let a = TraceAnalysis::from_log(&log);
+        assert_eq!(a.total_ops, 4);
+        assert_eq!(a.op_mix["clone-linked"], 2);
+        assert!((a.mix_fraction("power-on") - 0.25).abs() < 1e-12);
+        assert!((a.provisioning_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(a.total_failures(), 0);
+    }
+
+    #[test]
+    fn lifetimes_pair_provision_and_destroy() {
+        let mut destroy = record("destroy-vm", 7_200, Some((1, false)));
+        destroy.completed_us = 7_200 * 1_000_000;
+        let log: TraceLog = vec![
+            record("clone-linked", 0, Some((1, true))), // completes at t=1s
+            destroy,                                    // completes at t=2h
+        ]
+        .into_iter()
+        .collect();
+        let a = TraceAnalysis::from_log(&log);
+        assert_eq!(a.lifetimes_hours.count(), 1);
+        let lt = a.lifetimes_hours.values()[0];
+        assert!((lt - 2.0).abs() < 0.01, "lifetime {lt}h");
+    }
+
+    #[test]
+    fn destroy_without_birth_is_ignored() {
+        let log: TraceLog = vec![record("destroy-vm", 0, Some((9, false)))]
+            .into_iter()
+            .collect();
+        let a = TraceAnalysis::from_log(&log);
+        assert_eq!(a.lifetimes_hours.count(), 0);
+    }
+
+    #[test]
+    fn burstiness_metrics() {
+        // 30 ops in hour 0, 1 op in each of hours 1..=9.
+        let mut records = Vec::new();
+        for i in 0..30 {
+            records.push(record("power-on", i * 60, None));
+        }
+        for h in 1..10 {
+            records.push(record("power-on", h * 3_600, None));
+        }
+        let log: TraceLog = records.into_iter().collect();
+        let a = TraceAnalysis::from_log(&log);
+        assert!(a.peak_to_mean > 4.0, "peak/mean {}", a.peak_to_mean);
+        assert!(a.interarrival_cv > 1.0);
+        assert!(a.ops_per_day() > 0.0);
+    }
+
+    #[test]
+    fn control_data_split() {
+        let log: TraceLog = vec![record("clone-full", 0, Some((1, true)))]
+            .into_iter()
+            .collect();
+        let a = TraceAnalysis::from_log(&log);
+        let (control, data) = a.split_by_kind["clone-full"];
+        assert!((control - 0.7).abs() < 1e-12);
+        assert_eq!(data, 100.0);
+    }
+
+    #[test]
+    fn empty_log_analyzes_cleanly() {
+        let a = TraceAnalysis::from_log(&TraceLog::new());
+        assert_eq!(a.total_ops, 0);
+        assert_eq!(a.mix_fraction("anything"), 0.0);
+        assert_eq!(a.interarrival_cv, 0.0);
+    }
+}

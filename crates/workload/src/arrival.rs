@@ -1,0 +1,287 @@
+//! Request arrival processes.
+
+use cpsim_des::{Dist, SimDuration, SimRng, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per hour.
+const HOUR: f64 = 3_600.0;
+
+/// A stochastic arrival process over simulated time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `per_hour`.
+    Poisson {
+        /// Mean arrivals per hour.
+        per_hour: f64,
+    },
+    /// Non-homogeneous Poisson with a sinusoidal day-shape:
+    /// `rate(t) = per_hour * (1 + amplitude * sin(2π (t - phase)/24h))`,
+    /// sampled by thinning. `amplitude` in `[0, 1)`.
+    Diurnal {
+        /// Mean arrivals per hour over a day.
+        per_hour: f64,
+        /// Relative swing of the day-shape (0 = flat, 0.9 = strong peak).
+        amplitude: f64,
+        /// Hour of day at which the rate peaks.
+        peak_hour: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: dwell in each state for
+    /// an exponential time, emitting at that state's rate — produces the
+    /// bursty, batch-like arrivals self-service clouds see.
+    Mmpp {
+        /// Arrival rate in the calm state, per hour.
+        calm_per_hour: f64,
+        /// Arrival rate in the burst state, per hour.
+        burst_per_hour: f64,
+        /// Mean dwell time in the calm state, hours.
+        calm_dwell_hours: f64,
+        /// Mean dwell time in the burst state, hours.
+        burst_dwell_hours: f64,
+    },
+    /// Deterministic arrivals every `every` (useful in tests).
+    Periodic {
+        /// Fixed interarrival gap.
+        every: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run mean arrivals per hour.
+    pub fn mean_per_hour(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { per_hour } => *per_hour,
+            ArrivalProcess::Diurnal { per_hour, .. } => *per_hour,
+            ArrivalProcess::Mmpp {
+                calm_per_hour,
+                burst_per_hour,
+                calm_dwell_hours,
+                burst_dwell_hours,
+            } => {
+                let total = calm_dwell_hours + burst_dwell_hours;
+                (calm_per_hour * calm_dwell_hours + burst_per_hour * burst_dwell_hours) / total
+            }
+            ArrivalProcess::Periodic { every } => HOUR / every.as_secs_f64(),
+        }
+    }
+
+    /// Samples the next arrival strictly after `now`.
+    ///
+    /// Returns [`SimTime::MAX`] if the process can never fire (zero rate).
+    pub fn next_after(&self, now: SimTime, state: &mut ArrivalState, rng: &mut SimRng) -> SimTime {
+        match self {
+            ArrivalProcess::Poisson { per_hour } => {
+                if *per_hour <= 0.0 {
+                    return SimTime::MAX;
+                }
+                let gap = Dist::exponential(HOUR / per_hour)
+                    .expect("positive mean")
+                    .sample(rng);
+                now + SimDuration::from_secs_f64(gap.max(1e-6))
+            }
+            ArrivalProcess::Diurnal {
+                per_hour,
+                amplitude,
+                peak_hour,
+            } => {
+                if *per_hour <= 0.0 {
+                    return SimTime::MAX;
+                }
+                // Thinning against the envelope rate.
+                let max_rate = per_hour * (1.0 + amplitude);
+                let mut t = now;
+                for _ in 0..100_000 {
+                    let gap = Dist::exponential(HOUR / max_rate)
+                        .expect("positive mean")
+                        .sample(rng);
+                    t = t + SimDuration::from_secs_f64(gap.max(1e-6));
+                    let hour_of_day = (t.as_secs_f64() / HOUR) % 24.0;
+                    let shape = 1.0
+                        + amplitude
+                            * (std::f64::consts::TAU * (hour_of_day - peak_hour + 6.0) / 24.0)
+                                .sin();
+                    let rate = per_hour * shape;
+                    if rng.gen::<f64>() < rate / max_rate {
+                        return t;
+                    }
+                }
+                t
+            }
+            ArrivalProcess::Mmpp {
+                calm_per_hour,
+                burst_per_hour,
+                calm_dwell_hours,
+                burst_dwell_hours,
+            } => {
+                // Walk dwell periods until an arrival lands inside one.
+                let mut t = now;
+                for _ in 0..100_000 {
+                    if state.mmpp_until <= t {
+                        // (Re)enter a state starting at t.
+                        state.mmpp_bursting = !state.mmpp_bursting;
+                        let dwell = if state.mmpp_bursting {
+                            burst_dwell_hours
+                        } else {
+                            calm_dwell_hours
+                        };
+                        let d = Dist::exponential(dwell * HOUR)
+                            .expect("positive mean")
+                            .sample(rng);
+                        state.mmpp_until = t + SimDuration::from_secs_f64(d.max(1.0));
+                    }
+                    let rate = if state.mmpp_bursting {
+                        *burst_per_hour
+                    } else {
+                        *calm_per_hour
+                    };
+                    if rate <= 0.0 {
+                        t = state.mmpp_until;
+                        continue;
+                    }
+                    let gap = Dist::exponential(HOUR / rate)
+                        .expect("positive mean")
+                        .sample(rng);
+                    let candidate = t + SimDuration::from_secs_f64(gap.max(1e-6));
+                    if candidate <= state.mmpp_until {
+                        return candidate;
+                    }
+                    t = state.mmpp_until;
+                }
+                t
+            }
+            ArrivalProcess::Periodic { every } => now + *every,
+        }
+    }
+}
+
+/// Mutable state carried between arrival samples (MMPP phase tracking).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArrivalState {
+    mmpp_bursting: bool,
+    mmpp_until: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_des::Streams;
+
+    fn count_in(
+        p: &ArrivalProcess,
+        hours: u64,
+        rng: &mut SimRng,
+    ) -> (u64, Vec<u64 /* per-hour bins */>) {
+        let mut state = ArrivalState::default();
+        let mut t = SimTime::ZERO;
+        let horizon = SimTime::from_hours(hours);
+        let mut n = 0;
+        let mut bins = vec![0u64; hours as usize];
+        loop {
+            t = p.next_after(t, &mut state, rng);
+            if t >= horizon {
+                break;
+            }
+            n += 1;
+            bins[(t.as_secs_f64() / 3_600.0) as usize] += 1;
+        }
+        (n, bins)
+    }
+
+    #[test]
+    fn poisson_rate_matches() {
+        let p = ArrivalProcess::Poisson { per_hour: 30.0 };
+        let mut rng = Streams::new(1).rng(0);
+        let (n, _) = count_in(&p, 200, &mut rng);
+        let rate = n as f64 / 200.0;
+        assert!((rate - 30.0).abs() < 2.0, "got {rate}");
+        assert_eq!(p.mean_per_hour(), 30.0);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let p = ArrivalProcess::Poisson { per_hour: 0.0 };
+        let mut rng = Streams::new(1).rng(0);
+        let mut state = ArrivalState::default();
+        assert_eq!(p.next_after(SimTime::ZERO, &mut state, &mut rng), SimTime::MAX);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour() {
+        let p = ArrivalProcess::Diurnal {
+            per_hour: 60.0,
+            amplitude: 0.9,
+            peak_hour: 14.0,
+        };
+        let mut rng = Streams::new(2).rng(0);
+        let (_, bins) = count_in(&p, 24 * 30, &mut rng);
+        // Fold into hour-of-day.
+        let mut by_hour = vec![0u64; 24];
+        for (i, b) in bins.iter().enumerate() {
+            by_hour[i % 24] += b;
+        }
+        let peak_zone: u64 = (12..=16).map(|h| by_hour[h]).sum();
+        let trough_zone: u64 = (0..=4).map(|h| by_hour[h]).sum();
+        assert!(
+            peak_zone > 3 * trough_zone,
+            "peak {peak_zone} vs trough {trough_zone}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let rate = 30.0;
+        let mmpp = ArrivalProcess::Mmpp {
+            calm_per_hour: 6.0,
+            burst_per_hour: 246.0,
+            calm_dwell_hours: 0.9,
+            burst_dwell_hours: 0.1,
+        };
+        assert!((mmpp.mean_per_hour() - rate).abs() < 1.0);
+        let poisson = ArrivalProcess::Poisson { per_hour: rate };
+        let mut rng = Streams::new(3).rng(0);
+        let (_, mb) = count_in(&mmpp, 500, &mut rng);
+        let (_, pb) = count_in(&poisson, 500, &mut rng);
+        let cv = |bins: &[u64]| {
+            let n = bins.len() as f64;
+            let mean = bins.iter().sum::<u64>() as f64 / n;
+            let var = bins
+                .iter()
+                .map(|&b| (b as f64 - mean) * (b as f64 - mean))
+                .sum::<f64>()
+                / n;
+            var.sqrt() / mean
+        };
+        assert!(
+            cv(&mb) > 2.0 * cv(&pb),
+            "mmpp cv {} vs poisson cv {}",
+            cv(&mb),
+            cv(&pb)
+        );
+    }
+
+    #[test]
+    fn periodic_is_exact() {
+        let p = ArrivalProcess::Periodic {
+            every: SimDuration::from_secs(90),
+        };
+        let mut rng = Streams::new(4).rng(0);
+        let mut state = ArrivalState::default();
+        let t1 = p.next_after(SimTime::ZERO, &mut state, &mut rng);
+        let t2 = p.next_after(t1, &mut state, &mut rng);
+        assert_eq!(t1, SimTime::from_secs(90));
+        assert_eq!(t2, SimTime::from_secs(180));
+        assert_eq!(p.mean_per_hour(), 40.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = ArrivalProcess::Diurnal {
+            per_hour: 10.0,
+            amplitude: 0.5,
+            peak_hour: 15.0,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ArrivalProcess = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

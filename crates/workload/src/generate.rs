@@ -1,0 +1,346 @@
+//! The [`RequestGenerator`]: samples arrivals and materializes request
+//! templates against the live cloud state.
+
+use cpsim_cloud::{CloudDirector, CloudRequest, VappState};
+use cpsim_des::{SimDuration, SimRng, SimTime, Streams};
+use cpsim_inventory::{OrgId, PowerState, VmId};
+use cpsim_mgmt::{ControlPlane, OpKind};
+use rand::Rng;
+
+use crate::arrival::ArrivalState;
+use crate::spec::{RequestTemplate, WorkloadSpec};
+
+/// What an arrival materialized into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GeneratedRequest {
+    /// A cloud-level request for the director.
+    Cloud(CloudRequest),
+    /// A direct management operation (enterprise-style administration).
+    Op(OpKind),
+}
+
+/// Samples the workload over time.
+#[derive(Debug)]
+pub struct RequestGenerator {
+    spec: WorkloadSpec,
+    arrival_state: ArrivalState,
+    rng_arrival: SimRng,
+    rng_choice: SimRng,
+    org: OrgId,
+    templates: Vec<VmId>,
+    template_cursor: usize,
+    generated: u64,
+    skipped: u64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator bound to `org` and catalog `templates`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or `templates` is empty.
+    pub fn new(spec: WorkloadSpec, streams: &Streams, org: OrgId, templates: Vec<VmId>) -> Self {
+        spec.validate().expect("invalid WorkloadSpec");
+        assert!(!templates.is_empty(), "generator needs at least one template");
+        RequestGenerator {
+            spec,
+            arrival_state: ArrivalState::default(),
+            rng_arrival: streams.rng(Streams::ARRIVALS),
+            rng_choice: streams.rng(Streams::WORKLOAD),
+            org,
+            templates,
+            template_cursor: 0,
+            generated: 0,
+            skipped: 0,
+        }
+    }
+
+    /// The workload spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Arrivals skipped because no eligible target existed.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Samples the next arrival instant strictly after `now`.
+    pub fn next_arrival(&mut self, now: SimTime) -> SimTime {
+        self.spec
+            .arrivals
+            .next_after(now, &mut self.arrival_state, &mut self.rng_arrival)
+    }
+
+    /// Materializes one arrival into a request, or `None` if the sampled
+    /// template has no eligible target right now.
+    pub fn generate(
+        &mut self,
+        _now: SimTime,
+        director: &CloudDirector,
+        plane: &ControlPlane,
+    ) -> Option<GeneratedRequest> {
+        let template = self.pick_template();
+        let request = self.materialize(template, director, plane);
+        match request {
+            Some(_) => self.generated += 1,
+            None => self.skipped += 1,
+        }
+        request
+    }
+
+    fn pick_template(&mut self) -> RequestTemplate {
+        let total: f64 = self.spec.mix.iter().map(|(w, _)| w).sum();
+        let mut x = self.rng_choice.gen::<f64>() * total;
+        for (w, t) in &self.spec.mix {
+            if x < *w {
+                return *t;
+            }
+            x -= w;
+        }
+        self.spec.mix.last().expect("validated non-empty").1
+    }
+
+    fn materialize(
+        &mut self,
+        template: RequestTemplate,
+        director: &CloudDirector,
+        plane: &ControlPlane,
+    ) -> Option<GeneratedRequest> {
+        match template {
+            RequestTemplate::Instantiate => {
+                let count = (self.spec.vapp_size.sample(&mut self.rng_choice).round() as u32)
+                    .max(1);
+                let lease = self.spec.lifetime_hours.as_ref().map(|d| {
+                    let hours = d.sample(&mut self.rng_choice).max(0.05);
+                    SimDuration::from_secs_f64(hours * 3_600.0)
+                });
+                let catalog_template = self.templates[self.template_cursor % self.templates.len()];
+                self.template_cursor += 1;
+                Some(GeneratedRequest::Cloud(CloudRequest::InstantiateVapp {
+                    org: self.org,
+                    template: catalog_template,
+                    count,
+                    mode: Some(self.spec.clone_mode),
+                    lease,
+                }))
+            }
+            RequestTemplate::StartVapp => self
+                .pick_vapp(director, plane, |on, off| off > 0 && on == 0)
+                .map(|vapp| GeneratedRequest::Cloud(CloudRequest::StartVapp { vapp })),
+            RequestTemplate::StopVapp => self
+                .pick_vapp(director, plane, |on, _| on > 0)
+                .map(|vapp| GeneratedRequest::Cloud(CloudRequest::StopVapp { vapp })),
+            RequestTemplate::DeleteVapp => self
+                .pick_vapp(director, plane, |_, _| true)
+                .map(|vapp| GeneratedRequest::Cloud(CloudRequest::DeleteVapp { vapp })),
+            RequestTemplate::Recompose => {
+                let add =
+                    (self.spec.recompose_add.sample(&mut self.rng_choice).round() as u32).max(1);
+                let catalog_template = self.templates[self.template_cursor % self.templates.len()];
+                self.template_cursor += 1;
+                self.pick_vapp(director, plane, |_, _| true)
+                    .map(|vapp| {
+                        GeneratedRequest::Cloud(CloudRequest::RecomposeVapp {
+                            vapp,
+                            add,
+                            template: catalog_template,
+                        })
+                    })
+            }
+            RequestTemplate::SnapshotVm => self
+                .pick_vm(plane, |_| true)
+                .map(|vm| GeneratedRequest::Op(OpKind::Snapshot { vm })),
+            RequestTemplate::ReconfigureVm => self
+                .pick_vm(plane, |_| true)
+                .map(|vm| GeneratedRequest::Op(OpKind::Reconfigure { vm })),
+            RequestTemplate::MigrateVm => self
+                .pick_vm(plane, |p| p == PowerState::On)
+                .map(|vm| GeneratedRequest::Op(OpKind::MigrateVm { vm })),
+            RequestTemplate::PowerToggleVm => self.pick_vm(plane, |_| true).map(|vm| {
+                let on = plane
+                    .inventory()
+                    .vm(vm)
+                    .map(|v| v.power == PowerState::On)
+                    .unwrap_or(false);
+                GeneratedRequest::Op(if on {
+                    OpKind::PowerOff { vm }
+                } else {
+                    OpKind::PowerOn { vm }
+                })
+            }),
+        }
+    }
+
+    /// Picks a random deployed vApp whose (powered-on, powered-off) member
+    /// counts satisfy `pred`.
+    fn pick_vapp(
+        &mut self,
+        director: &CloudDirector,
+        plane: &ControlPlane,
+        pred: impl Fn(usize, usize) -> bool,
+    ) -> Option<cpsim_inventory::VappId> {
+        let candidates: Vec<_> = director
+            .vapps()
+            .filter(|(_, v)| v.state == VappState::Deployed && !v.vms.is_empty())
+            .filter(|(_, v)| {
+                let on = v
+                    .vms
+                    .iter()
+                    .filter(|vm| {
+                        plane
+                            .inventory()
+                            .vm(**vm)
+                            .map(|x| x.power == PowerState::On)
+                            .unwrap_or(false)
+                    })
+                    .count();
+                pred(on, v.vms.len() - on)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng_choice.gen_range(0..candidates.len())])
+        }
+    }
+
+    /// Picks a random non-template VM whose power state satisfies `pred`.
+    fn pick_vm(
+        &mut self,
+        plane: &ControlPlane,
+        pred: impl Fn(PowerState) -> bool,
+    ) -> Option<VmId> {
+        let candidates: Vec<_> = plane
+            .inventory()
+            .vms()
+            .filter(|(_, v)| !v.is_template && pred(v.power))
+            .map(|(id, _)| id)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng_choice.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_des::Dist;
+    use cpsim_inventory::{DatastoreSpec, HostSpec, VmSpec};
+    use cpsim_mgmt::{CloneMode, ControlPlaneConfig};
+
+    use crate::arrival::ArrivalProcess;
+
+    fn setup() -> (ControlPlane, CloudDirector, OrgId, VmId) {
+        let mut plane = ControlPlane::new(ControlPlaneConfig::default(), Streams::new(5));
+        let ds = plane.add_datastore(DatastoreSpec::new("ds", 4096.0, 100.0));
+        let h = plane.add_host(HostSpec::new("h", 48_000, 262_144));
+        plane.connect(h, ds).unwrap();
+        let t = plane
+            .install_template("tmpl", VmSpec::new(1, 1024, 10.0), h, ds)
+            .unwrap();
+        let mut director = CloudDirector::default();
+        director.register_template(t);
+        let org = director.create_org("acme");
+        (plane, director, org, t)
+    }
+
+    fn spec(template: RequestTemplate) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            arrivals: ArrivalProcess::Poisson { per_hour: 10.0 },
+            mix: vec![(1.0, template)],
+            vapp_size: Dist::constant(3.0).unwrap(),
+            lifetime_hours: Some(Dist::constant(4.0).unwrap()),
+            clone_mode: CloneMode::Linked,
+            recompose_add: Dist::constant(1.0).unwrap(),
+        }
+    }
+
+    #[test]
+    fn instantiate_materializes_with_lease() {
+        let (plane, director, org, _t) = setup();
+        let mut generator = RequestGenerator::new(
+            spec(RequestTemplate::Instantiate),
+            &Streams::new(1),
+            org,
+            vec![_t],
+        );
+        let req = generator
+            .generate(SimTime::ZERO, &director, &plane)
+            .unwrap();
+        match req {
+            GeneratedRequest::Cloud(CloudRequest::InstantiateVapp {
+                count, lease, mode, ..
+            }) => {
+                assert_eq!(count, 3);
+                assert_eq!(lease, Some(SimDuration::from_hours(4)));
+                assert_eq!(mode, Some(CloneMode::Linked));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(generator.generated(), 1);
+    }
+
+    #[test]
+    fn targeted_templates_skip_when_no_targets() {
+        let (plane, director, org, t) = setup();
+        for template in [
+            RequestTemplate::StartVapp,
+            RequestTemplate::StopVapp,
+            RequestTemplate::DeleteVapp,
+            RequestTemplate::MigrateVm,
+            RequestTemplate::SnapshotVm,
+        ] {
+            let mut generator =
+                RequestGenerator::new(spec(template), &Streams::new(1), org, vec![t]);
+            assert!(
+                generator.generate(SimTime::ZERO, &director, &plane).is_none(),
+                "{template:?} should skip on an empty cloud"
+            );
+            assert_eq!(generator.skipped(), 1);
+        }
+    }
+
+    #[test]
+    fn arrivals_advance_monotonically() {
+        let (_plane, _director, org, t) = setup();
+        let mut generator = RequestGenerator::new(
+            spec(RequestTemplate::Instantiate),
+            &Streams::new(1),
+            org,
+            vec![t],
+        );
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let next = generator.next_arrival(now);
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let (plane, director, org, t) = setup();
+        let mut s = spec(RequestTemplate::Instantiate);
+        s.mix = vec![
+            (9.0, RequestTemplate::Instantiate),
+            (1.0, RequestTemplate::SnapshotVm), // always skipped (no VMs)
+        ];
+        let mut generator = RequestGenerator::new(s, &Streams::new(2), org, vec![t]);
+        for _ in 0..500 {
+            generator.generate(SimTime::ZERO, &director, &plane);
+        }
+        let frac = generator.generated() as f64 / 500.0;
+        assert!((frac - 0.9).abs() < 0.05, "instantiate fraction {frac}");
+    }
+}

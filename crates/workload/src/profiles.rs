@@ -1,0 +1,248 @@
+//! Calibrated workload profiles: the substitution for the paper's two
+//! proprietary production traces, plus an enterprise-datacenter baseline.
+//!
+//! Magnitudes follow the authors' published characterizations of the
+//! vSphere-era stack: self-service clouds are provisioning-dominated with
+//! bursty arrivals and short VM lifetimes, while enterprise datacenters
+//! run mostly power/reconfigure/migrate operations over a long-lived VM
+//! population.
+
+use cpsim_des::Dist;
+use cpsim_mgmt::CloneMode;
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::ArrivalProcess;
+use crate::spec::{RequestTemplate, WorkloadSpec};
+
+/// Declarative description of the simulated datacenter a profile runs on.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Per-host CPU capacity, MHz.
+    pub host_cpu_mhz: u64,
+    /// Per-host memory, MiB.
+    pub host_mem_mb: u64,
+    /// Number of datastores (all connected to all hosts).
+    pub datastores: u32,
+    /// Per-datastore capacity, GiB.
+    pub ds_capacity_gb: f64,
+    /// Per-datastore copy bandwidth, MiB/s.
+    pub ds_bandwidth_mbps: f64,
+    /// Catalog templates: `(name, vcpus, mem_mb, disk_gb)`.
+    pub templates: Vec<(String, u32, u64, f64)>,
+    /// Whether templates are pre-seeded on every datastore (aggressive
+    /// reconfiguration already done) or only on their home datastore.
+    pub seed_templates_everywhere: bool,
+    /// Pre-provisioned vApps at time zero (enterprise baseline population).
+    pub initial_vapps: u32,
+    /// Members per pre-provisioned vApp.
+    pub initial_vapp_size: u32,
+}
+
+/// A workload spec plus the topology it is calibrated for.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Profile name.
+    pub name: String,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// The datacenter.
+    pub topology: Topology,
+}
+
+fn ln(median: f64, sigma: f64) -> Dist {
+    Dist::log_normal(median, sigma).expect("valid parameters")
+}
+
+/// "Cloud A": a training-lab style self-service cloud — heavily bursty
+/// class-start provisioning storms, short-lived vApps, linked clones,
+/// templates pre-seeded everywhere.
+pub fn cloud_a() -> Profile {
+    Profile {
+        name: "cloud-a".into(),
+        workload: WorkloadSpec {
+            name: "cloud-a".into(),
+            arrivals: ArrivalProcess::Mmpp {
+                calm_per_hour: 4.0,
+                burst_per_hour: 80.0,
+                calm_dwell_hours: 2.0,
+                burst_dwell_hours: 0.25,
+            },
+            mix: vec![
+                (0.62, RequestTemplate::Instantiate),
+                (0.08, RequestTemplate::StartVapp),
+                (0.08, RequestTemplate::StopVapp),
+                (0.06, RequestTemplate::Recompose),
+                (0.08, RequestTemplate::ReconfigureVm),
+                (0.04, RequestTemplate::SnapshotVm),
+                (0.04, RequestTemplate::DeleteVapp),
+            ],
+            vapp_size: ln(6.0, 0.6),
+            lifetime_hours: Some(ln(6.0, 0.7)),
+            clone_mode: CloneMode::Linked,
+            recompose_add: ln(2.0, 0.4),
+        },
+        topology: Topology {
+            hosts: 32,
+            host_cpu_mhz: 48_000,
+            host_mem_mb: 262_144,
+            datastores: 8,
+            ds_capacity_gb: 4_096.0,
+            ds_bandwidth_mbps: 200.0,
+            templates: vec![
+                ("lab-linux".into(), 2, 4_096, 20.0),
+                ("lab-windows".into(), 2, 4_096, 40.0),
+            ],
+            seed_templates_everywhere: true,
+            initial_vapps: 0,
+            initial_vapp_size: 0,
+        },
+    }
+}
+
+/// "Cloud B": a dev/test self-service cloud — diurnal arrivals, longer
+/// lifetimes, linked clones but *without* proactive template seeding (so
+/// shadow copies appear until the cloud reconfigures).
+pub fn cloud_b() -> Profile {
+    Profile {
+        name: "cloud-b".into(),
+        workload: WorkloadSpec {
+            name: "cloud-b".into(),
+            arrivals: ArrivalProcess::Diurnal {
+                per_hour: 8.0,
+                amplitude: 0.8,
+                peak_hour: 14.0,
+            },
+            mix: vec![
+                (0.35, RequestTemplate::Instantiate),
+                (0.15, RequestTemplate::StartVapp),
+                (0.15, RequestTemplate::StopVapp),
+                (0.10, RequestTemplate::SnapshotVm),
+                (0.10, RequestTemplate::ReconfigureVm),
+                (0.05, RequestTemplate::Recompose),
+                (0.05, RequestTemplate::DeleteVapp),
+                (0.05, RequestTemplate::MigrateVm),
+            ],
+            vapp_size: ln(3.0, 0.5),
+            lifetime_hours: Some(ln(72.0, 1.0)),
+            clone_mode: CloneMode::Linked,
+            recompose_add: ln(1.5, 0.4),
+        },
+        topology: Topology {
+            hosts: 48,
+            host_cpu_mhz: 48_000,
+            host_mem_mb: 262_144,
+            datastores: 12,
+            ds_capacity_gb: 4_096.0,
+            ds_bandwidth_mbps: 200.0,
+            templates: vec![
+                ("dev-linux".into(), 1, 2_048, 16.0),
+                ("dev-windows".into(), 2, 4_096, 32.0),
+                ("dev-db".into(), 4, 8_192, 64.0),
+            ],
+            seed_templates_everywhere: false,
+            initial_vapps: 0,
+            initial_vapp_size: 0,
+        },
+    }
+}
+
+/// The enterprise-datacenter baseline: a long-lived VM population
+/// administered with power, reconfigure, migrate and snapshot operations;
+/// provisioning is rare and uses full clones.
+pub fn enterprise() -> Profile {
+    Profile {
+        name: "enterprise".into(),
+        workload: WorkloadSpec {
+            name: "enterprise".into(),
+            arrivals: ArrivalProcess::Diurnal {
+                per_hour: 6.0,
+                amplitude: 0.6,
+                peak_hour: 10.0,
+            },
+            mix: vec![
+                (0.35, RequestTemplate::PowerToggleVm),
+                (0.20, RequestTemplate::ReconfigureVm),
+                (0.15, RequestTemplate::MigrateVm),
+                (0.15, RequestTemplate::SnapshotVm),
+                (0.05, RequestTemplate::Instantiate),
+                (0.05, RequestTemplate::StartVapp),
+                (0.05, RequestTemplate::StopVapp),
+            ],
+            vapp_size: ln(2.0, 0.4),
+            lifetime_hours: None,
+            clone_mode: CloneMode::Full,
+            recompose_add: ln(1.0, 0.3),
+        },
+        topology: Topology {
+            hosts: 64,
+            host_cpu_mhz: 48_000,
+            host_mem_mb: 262_144,
+            datastores: 16,
+            ds_capacity_gb: 8_192.0,
+            ds_bandwidth_mbps: 200.0,
+            templates: vec![
+                ("corp-linux".into(), 2, 4_096, 24.0),
+                ("corp-windows".into(), 2, 8_192, 40.0),
+            ],
+            seed_templates_everywhere: false,
+            initial_vapps: 24,
+            initial_vapp_size: 8,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in [cloud_a(), cloud_b(), enterprise()] {
+            p.workload.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(p.topology.hosts > 0);
+            assert!(!p.topology.templates.is_empty());
+        }
+    }
+
+    #[test]
+    fn clouds_are_provisioning_heavy_enterprise_is_not() {
+        let inst = |p: &Profile| p.workload.fraction_of(RequestTemplate::Instantiate);
+        assert!(inst(&cloud_a()) > 0.5);
+        assert!(inst(&cloud_b()) > 0.3);
+        assert!(inst(&enterprise()) < 0.1);
+    }
+
+    #[test]
+    fn cloud_lifetimes_shorter_than_enterprise() {
+        let a = cloud_a().workload.lifetime_hours.unwrap().mean().unwrap();
+        let b = cloud_b().workload.lifetime_hours.unwrap().mean().unwrap();
+        assert!(a < b, "lab vapps die faster than dev/test");
+        assert!(enterprise().workload.lifetime_hours.is_none());
+    }
+
+    #[test]
+    fn cloud_a_is_burstier_than_cloud_b() {
+        match (cloud_a().workload.arrivals, cloud_b().workload.arrivals) {
+            (ArrivalProcess::Mmpp { burst_per_hour, calm_per_hour, .. }, ArrivalProcess::Diurnal { .. }) => {
+                assert!(burst_per_hour / calm_per_hour >= 10.0);
+            }
+            _ => panic!("profile arrival shapes changed"),
+        }
+    }
+
+    #[test]
+    fn enterprise_uses_full_clones() {
+        assert_eq!(enterprise().workload.clone_mode, CloneMode::Full);
+        assert_eq!(cloud_a().workload.clone_mode, CloneMode::Linked);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = cloud_a();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

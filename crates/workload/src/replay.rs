@@ -1,0 +1,207 @@
+//! Trace replay: re-drive a fresh simulation with the request schedule
+//! recorded in an operation trace.
+//!
+//! Entity ids in a trace belong to the run that produced it, so a replay
+//! cannot re-issue recorded operations verbatim. What *is* portable — and
+//! what capacity planning needs — is the **provisioning schedule**: when
+//! clones were requested and in which mode, and when each produced VM was
+//! destroyed (its lifetime). [`ReplayPlan`] extracts exactly that, ready
+//! to feed back as instantiate-with-lease requests.
+
+use cpsim_des::{SimDuration, SimTime};
+use cpsim_mgmt::CloneMode;
+
+use crate::trace::TraceLog;
+
+/// One provisioning event recovered from a trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayEvent {
+    /// When the clone was submitted in the original run.
+    pub at: SimTime,
+    /// Clone mode used.
+    pub mode: CloneMode,
+    /// Observed lifetime of the produced VM, if it was destroyed within
+    /// the trace (replayers turn this into a lease).
+    pub lifetime: Option<SimDuration>,
+}
+
+/// A replayable provisioning schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayPlan {
+    events: Vec<ReplayEvent>,
+}
+
+impl ReplayPlan {
+    /// Extracts the provisioning schedule from `trace`.
+    ///
+    /// Only successful clones are replayed; clones whose VM never died in
+    /// the trace get `lifetime: None`.
+    pub fn from_trace(trace: &TraceLog) -> Self {
+        // Completion time of destroy per target VM.
+        let mut death: std::collections::BTreeMap<_, u64> = std::collections::BTreeMap::new();
+        for r in trace.records() {
+            if r.kind == "destroy-vm" && r.success {
+                if let Some(vm) = r.target_vm {
+                    death.insert(vm, r.completed_us);
+                }
+            }
+        }
+        let mut events = Vec::new();
+        for r in trace.records() {
+            if !r.success {
+                continue;
+            }
+            let mode = match r.kind.as_str() {
+                "clone-full" => CloneMode::Full,
+                "clone-linked" => CloneMode::Linked,
+                "clone-instant" => CloneMode::Instant,
+                _ => continue,
+            };
+            let lifetime = r.produced_vm.and_then(|vm| {
+                death.get(&vm).map(|&died_us| {
+                    SimDuration::from_micros(died_us.saturating_sub(r.completed_us))
+                })
+            });
+            events.push(ReplayEvent {
+                at: SimTime::from_micros(r.submitted_us),
+                mode,
+                lifetime,
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        ReplayPlan { events }
+    }
+
+    /// The events in submission order.
+    pub fn events(&self) -> &[ReplayEvent] {
+        &self.events
+    }
+
+    /// Number of provisioning events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Rescales the schedule in time: 2.0 doubles the provisioning rate
+    /// (halves the gaps), the knob for "what if demand doubles?" studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn accelerated(&self, factor: f64) -> ReplayPlan {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "acceleration factor must be finite and positive"
+        );
+        ReplayPlan {
+            events: self
+                .events
+                .iter()
+                .map(|e| ReplayEvent {
+                    at: SimTime::from_micros((e.at.as_micros() as f64 / factor) as u64),
+                    mode: e.mode,
+                    lifetime: e.lifetime,
+                })
+                .collect(),
+        }
+    }
+
+    /// Mean provisioning rate per hour over the span of the plan.
+    pub fn rate_per_hour(&self) -> f64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) if last.at > first.at => {
+                let span_h = last.at.since(first.at).as_secs_f64() / 3_600.0;
+                self.events.len() as f64 / span_h
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use cpsim_inventory::{EntityId, VmId};
+
+    fn clone_record(kind: &str, submitted_s: u64, vm_idx: u32, ok: bool) -> TraceRecord {
+        TraceRecord {
+            submitted_us: submitted_s * 1_000_000,
+            completed_us: submitted_s * 1_000_000 + 8_000_000,
+            kind: kind.into(),
+            latency_s: 8.0,
+            cpu_s: 0.1,
+            db_s: 0.1,
+            agent_s: 3.0,
+            data_s: 0.0,
+            queue_s: 0.0,
+            admission_s: 0.0,
+            success: ok,
+            produced_vm: Some(VmId::from_parts(vm_idx, 1)),
+            target_vm: None,
+        }
+    }
+
+    fn destroy_record(submitted_s: u64, vm_idx: u32) -> TraceRecord {
+        let mut r = clone_record("destroy-vm", submitted_s, 0, true);
+        r.produced_vm = None;
+        r.target_vm = Some(VmId::from_parts(vm_idx, 1));
+        r.completed_us = submitted_s * 1_000_000;
+        r
+    }
+
+    #[test]
+    fn extracts_clones_with_lifetimes() {
+        let log: TraceLog = vec![
+            clone_record("clone-linked", 10, 1, true),
+            clone_record("clone-full", 20, 2, true),
+            clone_record("power-on", 25, 3, true), // not provisioning
+            clone_record("clone-linked", 30, 4, false), // failed
+            destroy_record(3_618, 1),              // vm 1 dies ~1h later
+        ]
+        .into_iter()
+        .collect();
+        let plan = ReplayPlan::from_trace(&log);
+        assert_eq!(plan.len(), 2);
+        let e0 = plan.events()[0];
+        assert_eq!(e0.at, SimTime::from_secs(10));
+        assert_eq!(e0.mode, CloneMode::Linked);
+        let lt = e0.lifetime.unwrap();
+        assert!((lt.as_secs_f64() - 3_600.0).abs() < 1.0, "{lt:?}");
+        // The full clone's VM never died: open-ended.
+        assert_eq!(plan.events()[1].lifetime, None);
+    }
+
+    #[test]
+    fn acceleration_compresses_the_schedule() {
+        let log: TraceLog = vec![
+            clone_record("clone-linked", 100, 1, true),
+            clone_record("clone-linked", 300, 2, true),
+        ]
+        .into_iter()
+        .collect();
+        let plan = ReplayPlan::from_trace(&log);
+        let fast = plan.accelerated(2.0);
+        assert_eq!(fast.events()[0].at, SimTime::from_secs(50));
+        assert_eq!(fast.events()[1].at, SimTime::from_secs(150));
+        assert!((fast.rate_per_hour() - 2.0 * plan.rate_per_hour()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_plan() {
+        let plan = ReplayPlan::from_trace(&TraceLog::new());
+        assert!(plan.is_empty());
+        assert_eq!(plan.rate_per_hour(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bad_acceleration_rejected() {
+        ReplayPlan::default().accelerated(0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Workload specifications: what arrives and what each arrival does.
+
+use cpsim_des::Dist;
+use cpsim_mgmt::CloneMode;
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::ArrivalProcess;
+
+/// What one arriving request does. Templates referring to "random" targets
+/// are materialized by the generator against the live cloud state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestTemplate {
+    /// Deploy a new vApp (size and lease drawn from the spec's dists).
+    Instantiate,
+    /// Power on a random fully-stopped vApp.
+    StartVapp,
+    /// Power off a random running vApp.
+    StopVapp,
+    /// Delete a random deployed vApp (beyond lease-driven deletes).
+    DeleteVapp,
+    /// Add VMs to a random deployed vApp.
+    Recompose,
+    /// Snapshot a random VM.
+    SnapshotVm,
+    /// Reconfigure a random VM.
+    ReconfigureVm,
+    /// Live-migrate a random powered-on VM.
+    MigrateVm,
+    /// Power-cycle a random VM (off if on, on if off).
+    PowerToggleVm,
+}
+
+impl RequestTemplate {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestTemplate::Instantiate => "instantiate",
+            RequestTemplate::StartVapp => "start-vapp",
+            RequestTemplate::StopVapp => "stop-vapp",
+            RequestTemplate::DeleteVapp => "delete-vapp",
+            RequestTemplate::Recompose => "recompose",
+            RequestTemplate::SnapshotVm => "snapshot-vm",
+            RequestTemplate::ReconfigureVm => "reconfigure-vm",
+            RequestTemplate::MigrateVm => "migrate-vm",
+            RequestTemplate::PowerToggleVm => "power-toggle-vm",
+        }
+    }
+}
+
+/// A complete workload description: arrivals plus the request mix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Profile name (for reports).
+    pub name: String,
+    /// Request arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Weighted request mix; weights need not sum to 1.
+    pub mix: Vec<(f64, RequestTemplate)>,
+    /// VMs per instantiated vApp.
+    pub vapp_size: Dist,
+    /// vApp lifetime in hours (becomes the lease; `None` = no leases and
+    /// vApps persist until deleted by the mix).
+    pub lifetime_hours: Option<Dist>,
+    /// Clone mode for provisioning.
+    pub clone_mode: CloneMode,
+    /// VMs added per recompose.
+    pub recompose_add: Dist,
+}
+
+impl WorkloadSpec {
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mix.is_empty() {
+            return Err("mix must not be empty".into());
+        }
+        if self.mix.iter().any(|(w, _)| !w.is_finite() || *w < 0.0) {
+            return Err("mix weights must be finite and >= 0".into());
+        }
+        if self.mix.iter().map(|(w, _)| w).sum::<f64>() <= 0.0 {
+            return Err("mix weights must sum to a positive value".into());
+        }
+        Ok(())
+    }
+
+    /// The fraction of arrivals matching `template`.
+    pub fn fraction_of(&self, template: RequestTemplate) -> f64 {
+        let total: f64 = self.mix.iter().map(|(w, _)| w).sum();
+        self.mix
+            .iter()
+            .filter(|(_, t)| *t == template)
+            .map(|(w, _)| w)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "t".into(),
+            arrivals: ArrivalProcess::Poisson { per_hour: 10.0 },
+            mix: vec![
+                (3.0, RequestTemplate::Instantiate),
+                (1.0, RequestTemplate::StartVapp),
+            ],
+            vapp_size: Dist::constant(4.0).unwrap(),
+            lifetime_hours: Some(Dist::constant(8.0).unwrap()),
+            clone_mode: CloneMode::Linked,
+            recompose_add: Dist::constant(2.0).unwrap(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_spec() {
+        spec().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_mixes() {
+        let mut s = spec();
+        s.mix.clear();
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.mix = vec![(0.0, RequestTemplate::Instantiate)];
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.mix = vec![(-1.0, RequestTemplate::Instantiate)];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fractions() {
+        let s = spec();
+        assert!((s.fraction_of(RequestTemplate::Instantiate) - 0.75).abs() < 1e-12);
+        assert!((s.fraction_of(RequestTemplate::MigrateVm) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn template_names_unique() {
+        let all = [
+            RequestTemplate::Instantiate,
+            RequestTemplate::StartVapp,
+            RequestTemplate::StopVapp,
+            RequestTemplate::DeleteVapp,
+            RequestTemplate::Recompose,
+            RequestTemplate::SnapshotVm,
+            RequestTemplate::ReconfigureVm,
+            RequestTemplate::MigrateVm,
+            RequestTemplate::PowerToggleVm,
+        ];
+        let mut names: Vec<_> = all.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,93 @@
+//! Characterization pipeline: run a profile, persist its operation trace
+//! as JSONL (the simulator's stand-in for management-server logs), re-load
+//! it, and print the characterization the paper built from such logs.
+//!
+//! ```text
+//! cargo run --release --example characterize [cloud-a|cloud-b|enterprise] [hours]
+//! ```
+
+use std::io::BufReader;
+
+use cpsim::des::SimTime;
+use cpsim::metrics::Table;
+use cpsim::workload::{cloud_a, cloud_b, enterprise, TraceAnalysis, TraceLog};
+use cpsim::Scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let profile_name = args.next().unwrap_or_else(|| "cloud-a".to_string());
+    let hours: u64 = args
+        .next()
+        .map(|h| h.parse().expect("hours must be a number"))
+        .unwrap_or(24);
+    let profile = match profile_name.as_str() {
+        "cloud-a" => cloud_a(),
+        "cloud-b" => cloud_b(),
+        "enterprise" => enterprise(),
+        other => {
+            eprintln!("unknown profile '{other}' (use cloud-a, cloud-b, or enterprise)");
+            std::process::exit(1);
+        }
+    };
+
+    println!("Simulating {hours} h of '{}' ...", profile.name);
+    let mut sim = Scenario::from_profile(&profile).seed(1).build();
+    sim.run_until(SimTime::from_hours(hours));
+
+    // Persist and re-load the trace: the analysis below runs on the file,
+    // exactly as the paper's pipeline ran on collected logs.
+    let path = std::env::temp_dir().join(format!("cpsim-trace-{}.jsonl", profile.name));
+    {
+        let file = std::fs::File::create(&path).expect("create trace file");
+        sim.trace().write_jsonl(file).expect("write trace");
+    }
+    println!(
+        "Wrote {} operation records to {}",
+        sim.trace().len(),
+        path.display()
+    );
+    let reloaded =
+        TraceLog::read_jsonl(BufReader::new(std::fs::File::open(&path).expect("open")))
+            .expect("parse trace");
+    assert_eq!(reloaded.len(), sim.trace().len());
+    let a = TraceAnalysis::from_log(&reloaded);
+
+    let mut mix = Table::new(
+        format!("{} — operation mix over {hours} h", profile.name),
+        &["operation", "count", "share", "mean latency s", "failures"],
+    );
+    for (kind, count) in &a.op_mix {
+        let mean = a
+            .latency_by_kind
+            .get(kind)
+            .map(|s| s.mean())
+            .unwrap_or(0.0);
+        mix.row([
+            kind.clone(),
+            count.to_string(),
+            format!("{:.1}%", *count as f64 / a.total_ops as f64 * 100.0),
+            format!("{mean:.1}"),
+            a.failures.get(kind).copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    println!("\n{mix}");
+
+    let mut summary = Table::new("Characterization summary", &["metric", "value"]);
+    summary
+        .row(["operations/day", &format!("{:.0}", a.ops_per_day())])
+        .row(["burstiness (hourly peak/mean)", &format!("{:.1}", a.peak_to_mean)])
+        .row(["interarrival CV", &format!("{:.2}", a.interarrival_cv)])
+        .row([
+            "provisioning share",
+            &format!("{:.0}%", a.provisioning_fraction() * 100.0),
+        ])
+        .row(["VM deaths observed", &a.lifetimes_hours.count().to_string()]);
+    let mut lifetimes = a.lifetimes_hours.clone();
+    if !lifetimes.is_empty() {
+        summary.row([
+            "VM lifetime p50 (hours)",
+            &format!("{:.1}", lifetimes.percentile(50.0)),
+        ]);
+    }
+    println!("{summary}");
+}

@@ -1,0 +1,107 @@
+//! Provisioning storm: a class-start burst of 40 vApp requests hits the
+//! cloud at once. Compare full clones against linked clones and watch the
+//! bottleneck move from the datastores to the management control plane —
+//! the paper's central observation.
+//!
+//! ```text
+//! cargo run --release --example provisioning_storm
+//! ```
+
+use cpsim::cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim::des::SimTime;
+use cpsim::metrics::{Summary, Table};
+use cpsim::mgmt::CloneMode;
+use cpsim::workload::Topology;
+use cpsim::{CloudSim, Scenario};
+
+fn storm_topology() -> Topology {
+    Topology {
+        hosts: 16,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 524_288,
+        datastores: 8,
+        ds_capacity_gb: 16_384.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("class-image".into(), 2, 2_048, 20.0)],
+        seed_templates_everywhere: true,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+fn storm(mode: CloneMode) -> (Summary, CloudSim) {
+    let mut sim = Scenario::bare(storm_topology())
+        .seed(7)
+        .policy(ProvisioningPolicy {
+            mode,
+            fencing: true,
+            power_on: true,
+        })
+        .build();
+    let org = sim.org();
+    let template = sim.templates()[0];
+    // 40 students click "deploy lab" within one minute.
+    for i in 0..40u64 {
+        sim.schedule_request(
+            SimTime::from_secs(1 + i * 60 / 40),
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 4,
+                mode: Some(mode),
+                lease: None,
+            },
+        );
+    }
+    sim.run_until(SimTime::from_hours(24));
+    let latencies: Summary = sim
+        .cloud_reports()
+        .iter()
+        .filter(|r| r.kind == "instantiate-vapp")
+        .map(|r| r.latency.as_secs_f64())
+        .collect();
+    (latencies, sim)
+}
+
+fn main() {
+    println!("Provisioning storm: 40 requests × 4 VMs within one minute\n");
+    let mut table = Table::new(
+        "Storm results by clone mode",
+        &[
+            "mode",
+            "vApps done",
+            "p50 deploy s",
+            "p95 deploy s",
+            "max deploy s",
+            "datastore busy",
+            "db util",
+            "cpu util",
+        ],
+    );
+    for mode in [CloneMode::Full, CloneMode::Linked] {
+        let (mut lat, sim) = storm(mode);
+        let end = sim.now();
+        let ds_busy = sim
+            .datastores()
+            .iter()
+            .map(|d| sim.plane().datastore_busy(*d, end))
+            .sum::<f64>()
+            / sim.datastores().len() as f64;
+        table.row([
+            mode.name().to_string(),
+            lat.count().to_string(),
+            format!("{:.0}", lat.percentile(50.0)),
+            format!("{:.0}", lat.percentile(95.0)),
+            format!("{:.0}", lat.max()),
+            format!("{:.2}", ds_busy),
+            format!("{:.2}", sim.plane().db_utilization(end)),
+            format!("{:.2}", sim.plane().cpu_utilization(end)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Full clones: the storm queues on datastore bandwidth (datastore busy ≈ 1).\n\
+         Linked clones: the storm finishes in minutes and the residual wait is\n\
+         admission limits + database — the management control plane."
+    );
+}

@@ -1,0 +1,66 @@
+//! Capacity planning by trace replay: record a day of Cloud B, then ask
+//! "what happens to deployment latency if the same demand arrives 2× and
+//! 4× faster?" — the planning workflow the paper's characterization
+//! enables.
+//!
+//! ```text
+//! cargo run --release --example what_if_replay
+//! ```
+
+use cpsim::des::SimTime;
+use cpsim::metrics::{Summary, Table};
+use cpsim::workload::{cloud_b, ReplayPlan};
+use cpsim::Scenario;
+
+fn main() {
+    // 1. Record: one simulated day of Cloud B.
+    println!("Recording 24 h of Cloud B ...");
+    let mut recorded = Scenario::from_profile(&cloud_b()).seed(7).build();
+    recorded.run_until(SimTime::from_hours(24));
+    let plan = ReplayPlan::from_trace(recorded.trace());
+    println!(
+        "Captured {} provisioning events (~{:.1} VMs/hour)\n",
+        plan.len(),
+        plan.rate_per_hour()
+    );
+
+    // 2. Replay at 1x, 2x, 4x demand on a fresh cloud of the same shape.
+    let mut table = Table::new(
+        "Deployment latency under accelerated demand",
+        &[
+            "demand",
+            "VMs provisioned",
+            "p50 deploy s",
+            "p95 deploy s",
+            "db util",
+            "peak pending ops",
+        ],
+    );
+    for factor in [1.0, 2.0, 4.0] {
+        let accelerated = plan.accelerated(factor);
+        let mut sim = Scenario::bare(cloud_b().topology).seed(7).build();
+        let template = sim.templates()[0];
+        sim.schedule_replay(&accelerated, template);
+        sim.run_until(SimTime::from_hours(30));
+        let mut latencies: Summary = sim
+            .cloud_reports()
+            .iter()
+            .filter(|r| r.kind == "instantiate-vapp")
+            .map(|r| r.latency.as_secs_f64())
+            .collect();
+        table.row([
+            format!("{factor:.0}x"),
+            sim.director().stats().vms_provisioned().to_string(),
+            format!("{:.1}", latencies.percentile(50.0)),
+            format!("{:.1}", latencies.percentile(95.0)),
+            format!("{:.2}", sim.plane().db_utilization(sim.now())),
+            sim.plane().admission().peak_pending().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "The recorded schedule replays deterministically; acceleration\n\
+         compresses the same demand into less time, pushing the management\n\
+         plane toward its knee without touching the workload model."
+    );
+}

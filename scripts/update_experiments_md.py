@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Append the latest full-scale `repro` output to EXPERIMENTS.md.
+
+Usage: cargo run --release -p cpsim-bench --bin repro > /tmp/repro.txt
+       python3 scripts/update_experiments_md.py /tmp/repro.txt
+"""
+import sys
+
+MARK = "## Measured results (full scale, seed 2013)"
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    repro = open(sys.argv[1]).read()
+    text = open("EXPERIMENTS.md").read()
+    head = text.split(MARK)[0]
+    body = (
+        head
+        + MARK
+        + "\n\n```text\n"
+        + repro.strip()
+        + "\n```\n"
+    )
+    open("EXPERIMENTS.md", "w").write(body)
+    print(f"EXPERIMENTS.md updated ({len(repro)} bytes of results)")
+
+if __name__ == "__main__":
+    main()

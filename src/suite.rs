@@ -1,0 +1,7 @@
+//! `cpsim-suite`: the workspace-level package hosting the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! The library itself only re-exports the facade crate so examples and
+//! tests have one obvious import root.
+
+pub use cpsim::*;

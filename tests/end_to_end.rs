@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the paper's headline claims exercised
+//! through the full stack (workload → cloud → management plane → storage
+//! → kernel).
+
+use cpsim::cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim::des::{SimDuration, SimTime};
+use cpsim::mgmt::CloneMode;
+use cpsim::workload::{cloud_a, TraceLog, Topology};
+use cpsim::{CloudSim, Scenario};
+
+fn small_topology() -> Topology {
+    Topology {
+        hosts: 8,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 262_144,
+        datastores: 4,
+        ds_capacity_gb: 8_192.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("gold".into(), 2, 2_048, 20.0)],
+        seed_templates_everywhere: true,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+fn burst(mode: CloneMode, count: u32) -> CloudSim {
+    let mut sim = Scenario::bare(small_topology())
+        .seed(3)
+        .policy(ProvisioningPolicy {
+            mode,
+            fencing: true,
+            power_on: false,
+        })
+        .build();
+    let org = sim.org();
+    let template = sim.templates()[0];
+    for i in 0..u64::from(count) {
+        sim.schedule_request(
+            SimTime::from_micros(i + 1),
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(mode),
+                lease: None,
+            },
+        );
+    }
+    sim.run_until(SimTime::from_hours(24));
+    sim
+}
+
+#[test]
+fn headline_linked_clones_shift_the_bottleneck_to_the_control_plane() {
+    let full = burst(CloneMode::Full, 64);
+    let linked = burst(CloneMode::Linked, 64);
+
+    // Everything completed.
+    assert_eq!(full.cloud_reports().len(), 64);
+    assert_eq!(linked.cloud_reports().len(), 64);
+
+    // 1. Linked clones finish the burst far faster.
+    let makespan = |sim: &CloudSim| {
+        sim.cloud_reports()
+            .iter()
+            .map(|r| r.completed_at.as_secs_f64())
+            .fold(0.0, f64::max)
+    };
+    let (mf, ml) = (makespan(&full), makespan(&linked));
+    assert!(
+        mf > 5.0 * ml,
+        "full-clone makespan {mf:.0}s should dwarf linked {ml:.0}s"
+    );
+
+    // 2. The bottleneck flips: full clones pin a storage array (the
+    // template's datastore becomes the hot spot); linked clones leave all
+    // arrays idle while DB/CPU do the work.
+    let hottest_ds = |sim: &CloudSim, t: f64| {
+        let now = SimTime::from_secs(t as u64);
+        sim.datastores()
+            .iter()
+            .map(|d| sim.plane().datastore_busy(*d, now))
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        hottest_ds(&full, mf) > 0.9,
+        "full clones saturate the hot array: {:.3}",
+        hottest_ds(&full, mf)
+    );
+    // Linked clones still write a sliver of metadata, so the hot array is
+    // not literally zero — but it is far from saturated.
+    assert!(
+        hottest_ds(&linked, ml) < 0.25,
+        "linked clones barely touch storage: {:.3}",
+        hottest_ds(&linked, ml)
+    );
+    assert!(hottest_ds(&full, mf) > 3.0 * hottest_ds(&linked, ml));
+
+    // 3. For linked clones, control-plane time dominates data time.
+    let a = linked.analyze_trace();
+    let (control, data) = a.split_by_kind["clone-linked"];
+    assert!(
+        control > 20.0 * data.max(1e-9),
+        "control {control:.1}s vs data {data:.3}s"
+    );
+}
+
+#[test]
+fn full_stack_determinism_and_trace_round_trip() {
+    let run = |seed: u64| -> (u64, usize, String) {
+        let mut sim = Scenario::from_profile(&cloud_a()).seed(seed).build();
+        sim.run_until(SimTime::from_hours(3));
+        let mut buf = Vec::new();
+        sim.trace().write_jsonl(&mut buf).unwrap();
+        (
+            sim.events_processed(),
+            sim.trace().len(),
+            String::from_utf8(buf).unwrap(),
+        )
+    };
+    let (e1, n1, t1) = run(5);
+    let (e2, n2, t2) = run(5);
+    assert_eq!(e1, e2);
+    assert_eq!(n1, n2);
+    assert_eq!(t1, t2, "byte-identical traces under one seed");
+
+    // The persisted trace parses back into an identical log.
+    let back = TraceLog::read_jsonl(t1.as_bytes()).unwrap();
+    assert_eq!(back.len(), n1);
+}
+
+#[test]
+fn accounting_identities_hold_after_a_busy_day() {
+    let mut sim = Scenario::from_profile(&cloud_a()).seed(13).build();
+    sim.run_until(SimTime::from_hours(12));
+    sim.stop_arrivals();
+    // Drain in-flight work (leases may still fire; give them room).
+    sim.run_for(SimDuration::from_hours(36));
+    assert_eq!(sim.plane().tasks_in_flight(), 0);
+
+    let inv = sim.plane().inventory();
+    inv.check_invariants().expect("inventory consistent");
+    sim.plane()
+        .storage()
+        .check_invariants(inv)
+        .expect("storage consistent");
+
+    // Provisioned − destroyed = live non-template VMs.
+    let stats = sim.director().stats();
+    let live = inv.counts().vms - inv.counts().templates;
+    assert_eq!(
+        stats.vms_provisioned() - stats.vms_destroyed(),
+        live as u64,
+        "VM conservation"
+    );
+
+    // Every vApp member VM still resolves, and every live non-template VM
+    // belongs to exactly one vApp.
+    let mut members = 0usize;
+    for (_, vapp) in sim.director().vapps() {
+        for vm in &vapp.vms {
+            assert!(inv.vm(*vm).is_some(), "vapp member vanished");
+            members += 1;
+        }
+    }
+    assert_eq!(members, live, "vApp membership covers live VMs");
+}
+
+#[test]
+fn seeded_cloud_never_shadow_copies() {
+    // cloud-a seeds templates everywhere; linked clones must never move
+    // template-sized data.
+    let mut sim = Scenario::from_profile(&cloud_a()).seed(21).build();
+    sim.keep_task_reports(true);
+    sim.run_until(SimTime::from_hours(4));
+    let worst = sim
+        .task_reports()
+        .iter()
+        .filter(|r| r.kind == "clone-linked" && r.is_success())
+        .map(|r| r.data_secs)
+        .fold(0.0, f64::max);
+    assert!(
+        worst < 5.0,
+        "a seeded cloud should never pay a shadow copy, saw {worst:.1}s"
+    );
+}

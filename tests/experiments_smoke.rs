@@ -1,0 +1,98 @@
+//! Smoke test: every registered experiment runs in quick mode and emits
+//! well-formed, non-empty tables. (Shape assertions per experiment live
+//! next to each experiment's implementation.)
+//!
+//! The heavier experiments are exercised separately so a failure names
+//! the experiment directly.
+
+use cpsim::experiments::{all, ExpOptions};
+
+fn run_one(id: &str) {
+    let exp = all()
+        .into_iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("experiment {id} not registered"));
+    let tables = (exp.run)(&ExpOptions::quick());
+    assert!(!tables.is_empty(), "{id} produced no tables");
+    for t in &tables {
+        assert!(!t.is_empty(), "{id}: table '{}' has no rows", t.title());
+        for row in t.rows() {
+            assert_eq!(
+                row.len(),
+                t.columns().len(),
+                "{id}: ragged row in '{}'",
+                t.title()
+            );
+        }
+        // CSV renders without panicking and contains the header.
+        let csv = t.to_csv();
+        assert!(csv.lines().count() >= 2);
+        // Markdown renders.
+        assert!(t.to_string().contains(t.title()));
+    }
+}
+
+#[test]
+fn t1_runs() {
+    run_one("t1");
+}
+
+#[test]
+fn f1_runs() {
+    run_one("f1");
+}
+
+#[test]
+fn f2_runs() {
+    run_one("f2");
+}
+
+#[test]
+fn f3_runs() {
+    run_one("f3");
+}
+
+#[test]
+fn f4_runs() {
+    run_one("f4");
+}
+
+#[test]
+fn f5_runs() {
+    run_one("f5");
+}
+
+#[test]
+fn f6_runs() {
+    run_one("f6");
+}
+
+#[test]
+fn f7_runs() {
+    run_one("f7");
+}
+
+#[test]
+fn f8_runs() {
+    run_one("f8");
+}
+
+#[test]
+fn f9_runs() {
+    run_one("f9");
+}
+
+#[test]
+fn t2_runs() {
+    run_one("t2");
+}
+
+#[test]
+fn f10_runs() {
+    run_one("f10");
+}
+
+#[test]
+fn f11_runs() {
+    run_one("f11");
+}

@@ -1,0 +1,96 @@
+//! Trace-replay integration: record a run's provisioning schedule, then
+//! re-drive a fresh simulation with it (including an accelerated what-if).
+
+use cpsim::cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim::des::{SimDuration, SimTime};
+use cpsim::mgmt::CloneMode;
+use cpsim::workload::{ReplayPlan, Topology};
+use cpsim::{CloudSim, Scenario};
+
+fn topology() -> Topology {
+    Topology {
+        hosts: 4,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 262_144,
+        datastores: 3,
+        ds_capacity_gb: 4_096.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("gold".into(), 1, 1_024, 10.0)],
+        seed_templates_everywhere: true,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+fn fresh() -> CloudSim {
+    Scenario::bare(topology())
+        .seed(17)
+        .policy(ProvisioningPolicy {
+            mode: CloneMode::Linked,
+            fencing: false,
+            power_on: false,
+        })
+        .build()
+}
+
+/// Original run: 10 leased single-VM deployments over 20 minutes.
+fn record_original() -> (ReplayPlan, u64) {
+    let mut sim = fresh();
+    let org = sim.org();
+    let template = sim.templates()[0];
+    for i in 0..10u64 {
+        sim.schedule_request(
+            SimTime::from_secs(10 + i * 120),
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(CloneMode::Linked),
+                lease: Some(SimDuration::from_mins(30)),
+            },
+        );
+    }
+    sim.run_until(SimTime::from_hours(4));
+    let provisioned = sim.director().stats().vms_provisioned();
+    (ReplayPlan::from_trace(sim.trace()), provisioned)
+}
+
+#[test]
+fn replay_reproduces_the_provisioning_schedule() {
+    let (plan, original_provisioned) = record_original();
+    assert_eq!(plan.len() as u64, original_provisioned);
+    // Every VM died under its lease, so every event has a lifetime.
+    assert!(plan.events().iter().all(|e| e.lifetime.is_some()));
+
+    let mut sim = fresh();
+    let template = sim.templates()[0];
+    let scheduled = sim.schedule_replay(&plan, template);
+    assert_eq!(scheduled, plan.len());
+    sim.run_until(SimTime::from_hours(6));
+
+    let stats = sim.director().stats();
+    assert_eq!(stats.vms_provisioned(), original_provisioned);
+    // Leases replayed too: everything dies again.
+    assert_eq!(stats.vms_destroyed(), original_provisioned);
+    assert_eq!(sim.plane().tasks_in_flight(), 0);
+}
+
+#[test]
+fn accelerated_replay_compresses_the_same_demand() {
+    let (plan, _) = record_original();
+    let fast = plan.accelerated(4.0);
+    assert_eq!(fast.len(), plan.len());
+
+    let mut sim = fresh();
+    let template = sim.templates()[0];
+    sim.schedule_replay(&fast, template);
+    sim.run_until(SimTime::from_hours(6));
+    assert_eq!(
+        sim.director().stats().vms_provisioned() as usize,
+        fast.len()
+    );
+    // Last arrival of the accelerated plan lands at 1/4 the original time.
+    let last_fast = fast.events().last().unwrap().at;
+    let last_orig = plan.events().last().unwrap().at;
+    assert!(last_fast.as_micros() <= last_orig.as_micros() / 3);
+}

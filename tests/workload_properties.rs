@@ -1,0 +1,142 @@
+//! Property-based integration tests: random workloads against the full
+//! stack must preserve conservation and consistency invariants.
+
+use cpsim::cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim::des::{SimDuration, SimTime};
+use cpsim::mgmt::CloneMode;
+use cpsim::workload::Topology;
+use cpsim::Scenario;
+use proptest::prelude::*;
+
+fn tiny_topology() -> Topology {
+    Topology {
+        hosts: 4,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 131_072,
+        datastores: 3,
+        ds_capacity_gb: 1_024.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("t".into(), 1, 1_024, 8.0)],
+        seed_templates_everywhere: false,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+/// A randomized request schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    Instantiate { count: u32, lease_mins: Option<u16>, full: bool },
+    DeleteOldest,
+    StopOldest,
+    StartOldest,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u32..5, proptest::option::of(5u16..120), any::<bool>())
+            .prop_map(|(count, lease_mins, full)| Step::Instantiate {
+                count,
+                lease_mins,
+                full
+            }),
+        Just(Step::DeleteOldest),
+        Just(Step::StopOldest),
+        Just(Step::StartOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full multi-hour simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_request_schedules_preserve_invariants(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Scenario::bare(tiny_topology())
+            .seed(seed)
+            .policy(ProvisioningPolicy {
+                mode: CloneMode::Linked,
+                fencing: true,
+                power_on: true,
+            })
+            .build();
+        let org = sim.org();
+        let template = sim.templates()[0];
+
+        let mut t = SimTime::from_secs(1);
+        for step in &steps {
+            match step {
+                Step::Instantiate { count, lease_mins, full } => {
+                    sim.schedule_request(t, CloudRequest::InstantiateVapp {
+                        org,
+                        template,
+                        count: *count,
+                        mode: Some(if *full { CloneMode::Full } else { CloneMode::Linked }),
+                        lease: lease_mins.map(|m| SimDuration::from_mins(u64::from(m))),
+                    });
+                }
+                other => {
+                    // Target the oldest live vApp at execution time; the
+                    // driver resolves ids lazily via a closure-less trick:
+                    // we just run to `t` first, then look it up.
+                    sim.run_until(t);
+                    let target = sim.director().vapps().next().map(|(id, _)| id);
+                    if let Some(vapp) = target {
+                        let req = match other {
+                            Step::DeleteOldest => CloudRequest::DeleteVapp { vapp },
+                            Step::StopOldest => CloudRequest::StopVapp { vapp },
+                            Step::StartOldest => CloudRequest::StartVapp { vapp },
+                            Step::Instantiate { .. } => unreachable!(),
+                        };
+                        sim.schedule_request(t, req);
+                    }
+                }
+            }
+            t += SimDuration::from_mins(7);
+        }
+        // Let everything finish, including lease-driven teardowns.
+        sim.run_until(t + SimDuration::from_hours(8));
+        prop_assert_eq!(sim.plane().tasks_in_flight(), 0, "work must drain");
+
+        let inv = sim.plane().inventory();
+        prop_assert!(inv.check_invariants().is_ok(), "{:?}", inv.check_invariants());
+        prop_assert!(
+            sim.plane().storage().check_invariants(inv).is_ok(),
+            "{:?}",
+            sim.plane().storage().check_invariants(inv)
+        );
+
+        // VM conservation.
+        let stats = sim.director().stats();
+        let live = (inv.counts().vms - inv.counts().templates) as u64;
+        prop_assert_eq!(stats.vms_provisioned() - stats.vms_destroyed(), live);
+
+        // Space conservation: used space equals the storage pool's view.
+        for (ds_id, ds) in inv.datastores() {
+            let pool_sum = sim.plane().storage().allocated_on(ds_id);
+            prop_assert!((pool_sum - ds.used_gb).abs() < 1e-6);
+        }
+
+        // Trace/report agreement: every completed cloud request is clean
+        // or its failures are visible in the trace.
+        let trace_failures: u64 = sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| !r.success)
+            .count() as u64;
+        let reported_failures: u64 = sim
+            .cloud_reports()
+            .iter()
+            .map(|r| u64::from(r.ops_failed))
+            .sum();
+        prop_assert!(reported_failures <= trace_failures,
+            "cloud-visible failures {} exceed trace failures {}",
+            reported_failures, trace_failures);
+    }
+}
