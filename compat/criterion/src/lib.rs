@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the entry points (`criterion_group!` / `criterion_main!`) and
+//! the `Criterion`/`BenchmarkGroup`/`Bencher` API surface this
+//! workspace's benches use, backed by a simple wall-clock timer: warm up
+//! briefly, then run until the measurement budget is spent and report the
+//! mean iteration time. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs one benchmark's measured routine.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean seconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Self {
+        Bencher {
+            measurement_time,
+            mean_secs: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: one untimed call (also monomorphizes/faults-in code).
+        std::hint::black_box(routine());
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < budget && iters < 1_000_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+            spent = started.elapsed();
+        }
+        self.iters = iters.max(1);
+        self.mean_secs = spent.as_secs_f64() / self.iters as f64;
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std::hint::black_box(routine(setup()));
+        let budget = self.measurement_time;
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < budget && iters < 1_000_000 {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += started.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean_secs = spent.as_secs_f64() / self.iters as f64;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(
+    name: &str,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(measurement_time);
+    f(&mut b);
+    let mut line = format!(
+        "{name:<48} {:>12}/iter  ({} iters)",
+        format_time(b.mean_secs),
+        b.iters
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 / b.mean_secs.max(1e-12),
+        };
+        let unit = match tp {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        line.push_str(&format!("  {per_sec:.3e} {unit}"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Much shorter than upstream's 5 s: the shim is a smoke-timer,
+            // not a statistics engine.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.measurement_time, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.as_ref().to_string(),
+            measurement_time,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for compatibility; the shim sizes
+    /// runs by time, not samples).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        // Cap the budget: the shim reports a smoke timing, and upstream
+        // budgets (15-20 s per bench) are sized for statistics it does
+        // not compute.
+        self.measurement_time = t.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Random-input property testing without shrinking: each test case's
+//! inputs are generated deterministically from the test's module path and
+//! the case index, so a failure reproduces on every run. `prop_assert!`
+//! maps to `assert!`.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Supports the subset of the upstream grammar this workspace uses: an
+/// optional `#![proptest_config(...)]` header followed by `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,27 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `None` or `Some(inner)` with equal probability.
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Option`s of `inner`'s values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 1 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! The usual imports for property tests.
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

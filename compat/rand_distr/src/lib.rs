@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the distributions this workspace samples — [`Exp`],
+//! [`LogNormal`], [`Pareto`], [`Weibull`] — via inverse-CDF transforms
+//! (Box–Muller for the normal behind [`LogNormal`]). Marginals are exact;
+//! streams are deterministic per seed but not bit-compatible with the
+//! upstream crate.
+
+use rand::RngCore;
+
+/// Error constructing a distribution with invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform draw on `[0, 1)`.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw on `(0, 1]` — safe for logarithms.
+fn unit_open_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - unit_f64(rng)
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp lambda must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open_f64(rng).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the underlying normal's `mu` and `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `sigma >= 0` and both are finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal needs finite mu and sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one normal per sample keeps the state machine simple
+        // and the cost negligible for a simulator.
+        let u1 = unit_open_f64(rng);
+        let u2 = unit_f64(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Pareto distribution with minimum `scale` and tail index `shape`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale.is_finite() && shape.is_finite() && scale > 0.0 && shape > 0.0 {
+            Ok(Pareto { scale, shape })
+        } else {
+            Err(ParamError("Pareto scale and shape must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * unit_open_f64(rng).powf(-1.0 / self.shape)
+    }
+}
+
+/// Weibull distribution with the given `scale` and `shape`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale.is_finite() && shape.is_finite() && scale > 0.0 && shape > 0.0 {
+            Ok(Weibull { scale, shape })
+        } else {
+            Err(ParamError("Weibull scale and shape must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Weibull {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * (-unit_open_f64(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, n: u32) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(123);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n)
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(0.5).unwrap();
+        assert!((mean_of(&d, 200_000) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_normal_mean() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let analytic = (0.125f64).exp();
+        assert!((mean_of(&d, 200_000) - analytic).abs() / analytic < 0.02);
+    }
+
+    #[test]
+    fn pareto_mean() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        assert!((mean_of(&d, 400_000) - 1.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(2.0, 1.0).unwrap();
+        assert!((mean_of(&d, 200_000) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(-1.0, 1.0).is_err());
+    }
+}

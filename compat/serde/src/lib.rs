@@ -1,0 +1,56 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! A simplified data model: [`Serialize`] and [`Deserialize`] convert
+//! values through an owned JSON-like [`Value`] tree rather than through
+//! serde's visitor machinery. `serde_json` (the sibling shim) renders and
+//! parses that tree. The derive macros are re-exported from
+//! `serde_derive` and target exactly these traits.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}

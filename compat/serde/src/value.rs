@@ -1,0 +1,72 @@
+//! The JSON-like data model shared by `serde` and `serde_json`.
+
+/// An owned, JSON-shaped value.
+///
+/// Integers keep their own variants (rather than collapsing to `f64`) so
+/// `u64`/`i64` round-trip exactly; objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object (ordered key/value pairs).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Interprets this value as an externally tagged enum: a bare string
+    /// is a unit variant (payload [`Value::Null`]); a single-entry object
+    /// is `(tag, payload)`.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Str(s) => Some((s.as_str(), &Value::Null)),
+            Value::Obj(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`) targeting the simplified
+//! `serde` shim: `Serialize::to_value` / `Deserialize::from_value` over a
+//! JSON-like `Value` tree. Supports non-generic named/tuple/unit structs
+//! and enums with unit, tuple, and struct variants (externally tagged,
+//! matching upstream serde's default representation), plus the
+//! `#[serde(default)]` field attribute.
+//!
+//! Code generation formats Rust source as a string and reparses it — the
+//! generated impls never need the parsed field *types*, only field names,
+//! because `from_value` resolves the element impl by inference at the use
+//! site.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Parsed {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` for the simplified data model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    let src = match &parsed {
+        Parsed::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Parsed::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the simplified data model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    let src = match &parsed {
+        Parsed::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Parsed::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(tuple_arity(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unexpected token after `struct {name}`: {other:?}"),
+            };
+            Parsed::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("unexpected token after `enum {name}`: {other:?}"),
+            };
+            Parsed::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive supports structs and enums, got `{other}`"),
+    }
+}
+
+/// Collects leading `#[...]` attribute groups, advancing `i` past them.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<Group> {
+    let mut attrs = Vec::new();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                attrs.push(g.clone());
+                *i += 1;
+            }
+            other => panic!("expected attribute body after `#`, got {other:?}"),
+        }
+    }
+    attrs
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Whether any attribute is `#[serde(...)]` containing the word `default`.
+fn has_serde_default(attrs: &[Group]) -> bool {
+    attrs.iter().any(|attr| {
+        let mut it = attr.stream().into_iter();
+        let is_serde = matches!(it.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        is_serde
+            && match it.next() {
+                Some(TokenTree::Group(inner)) => inner
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(d) if d.to_string() == "default")),
+                _ => false,
+            }
+    })
+}
+
+fn parse_named_fields(body: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default: has_serde_default(&attrs),
+        });
+    }
+    fields
+}
+
+/// Number of comma-separated elements in a tuple-struct/-variant body.
+fn tuple_arity(body: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in body.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if in_segment {
+                        count += 1;
+                    }
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Attribute tokens on tuple fields would confuse this counter, but
+        // the shim doesn't support per-field attributes on tuples anyway.
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(tuple_arity(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional explicit discriminant, then the separator.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn named_to_obj(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            obj_entry(
+                &f.name,
+                &format!("::serde::Serialize::to_value(&{access_prefix}{})", f.name),
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => named_to_obj(fields, "self."),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `match value.get(..)` arm for one named field of `owner`.
+fn named_field_expr(owner: &str, field: &Field, source: &str) -> String {
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"missing field `{}` in {owner}\"))",
+            field.name
+        )
+    };
+    format!(
+        "{}: match {source}.get(\"{}\") {{\n\
+         ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        field.name, field.name
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_expr(name, f, "value"))
+                .collect();
+            format!(
+                "if value.as_obj().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected object for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(",\n")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_arr().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                ),
+                Shape::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Obj(::std::vec![{}])",
+                    obj_entry(vname, "::serde::Serialize::to_value(f0)")
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Obj(::std::vec![{}])",
+                        binds.join(", "),
+                        obj_entry(
+                            vname,
+                            &format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                        )
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            obj_entry(
+                                &f.name,
+                                &format!("::serde::Serialize::to_value({})", f.name),
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {} }} => ::serde::Value::Obj(::std::vec![{}])",
+                        binds.join(", "),
+                        obj_entry(
+                            vname,
+                            &format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+                        )
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{},\n}}\n}}\n}}",
+        arms.join(",\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname})")
+                }
+                Shape::Tuple(1) => format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(payload)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         let items = payload.as_arr().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple length for {name}::{vname}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let owner = format!("{name}::{vname}");
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| named_field_expr(&owner, f, "payload"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         if payload.as_obj().is_none() {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected object for {owner}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({owner} {{ {} }})\n\
+                         }}",
+                        inits.join(",\n")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         let (tag, payload) = value.as_variant().ok_or_else(|| \
+         ::serde::Error::custom(\"expected variant for {name}\"))?;\n\
+         let _ = payload;\n\
+         match tag {{\n{},\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+         }}\n}}\n}}",
+        arms.join(",\n")
+    )
+}

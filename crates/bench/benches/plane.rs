@@ -66,8 +66,7 @@ fn bench_op_round_trip(c: &mut Criterion) {
     c.bench_function("plane/linked-clone-round-trip", |b| {
         b.iter_batched(
             || {
-                let mut plane =
-                    ControlPlane::new(ControlPlaneConfig::default(), Streams::new(7));
+                let mut plane = ControlPlane::new(ControlPlaneConfig::default(), Streams::new(7));
                 let ds = plane.add_datastore(DatastoreSpec::new("ds", 4096.0, 200.0));
                 let h = plane.add_host(HostSpec::new("h", 48_000, 262_144));
                 plane.connect(h, ds).unwrap();
@@ -91,5 +90,10 @@ fn bench_op_round_trip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_placement_scan, bench_clone_tree, bench_op_round_trip);
+criterion_group!(
+    benches,
+    bench_placement_scan,
+    bench_clone_tree,
+    bench_op_round_trip
+);
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! repro                 # all experiments at publication scale
 //! repro f4 f5 --quick   # selected experiments, test scale
 //! repro --csv out/      # also write CSV files for plotting
+//! repro list            # print the experiment catalog
 //! ```
 
 use std::process::ExitCode;
@@ -19,6 +20,10 @@ fn main() -> ExitCode {
     };
     if cli.help {
         println!("{}", cpsim_bench::usage());
+        return ExitCode::SUCCESS;
+    }
+    if cli.list {
+        println!("{}", cpsim_bench::listing());
         return ExitCode::SUCCESS;
     }
     let mut stdout = std::io::stdout().lock();

@@ -20,6 +20,8 @@ pub struct Cli {
     pub csv_dir: Option<PathBuf>,
     /// Print help and exit.
     pub help: bool,
+    /// `list` subcommand: print the experiment catalog and exit.
+    pub list: bool,
 }
 
 impl Cli {
@@ -33,6 +35,7 @@ impl Cli {
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
+                "list" => cli.list = true,
                 "--quick" | "-q" => cli.quick = true,
                 "--help" | "-h" => cli.help = true,
                 "--seed" => {
@@ -90,16 +93,22 @@ impl Cli {
 
 /// Usage text.
 pub fn usage() -> String {
-    let ids: Vec<String> = all()
-        .iter()
-        .map(|e| format!("  {:4} {}", e.id, e.title))
-        .collect();
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
-         USAGE: repro [IDS...] [--quick] [--seed N] [--csv DIR]\n\n\
+         USAGE: repro [IDS...] [--quick] [--seed N] [--csv DIR]\n\
+         \x20      repro list\n\n\
          Experiments (default: all):\n{}\n",
-        ids.join("\n")
+        listing()
     )
+}
+
+/// One line per experiment: id and title, in paper order.
+pub fn listing() -> String {
+    all()
+        .iter()
+        .map(|e| format!("  {:4} {}", e.id, e.title))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Runs the selected experiments, printing tables and optionally saving
@@ -139,11 +148,8 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let cli = Cli::parse(
-            ["t1", "--quick", "--seed", "9", "--csv", "/tmp/x"]
-                .map(String::from),
-        )
-        .unwrap();
+        let cli = Cli::parse(["t1", "--quick", "--seed", "9", "--csv", "/tmp/x"].map(String::from))
+            .unwrap();
         assert_eq!(cli.ids, vec!["t1"]);
         assert!(cli.quick);
         assert_eq!(cli.seed, Some(9));
@@ -162,7 +168,24 @@ mod tests {
     #[test]
     fn select_all_by_default() {
         let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
-        assert_eq!(cli.select().unwrap().len(), 13);
+        assert_eq!(cli.select().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn list_subcommand_parses_and_lists_everything() {
+        let cli = Cli::parse(["list".to_string()]).unwrap();
+        assert!(cli.list);
+        let l = listing();
+        for e in cpsim::experiments::all() {
+            assert!(l.contains(e.id) && l.contains(e.title));
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_fails_selection() {
+        let cli = Cli::parse(["frobnicate".to_string()]).unwrap();
+        assert!(!cli.list);
+        assert!(cli.select().is_err());
     }
 
     #[test]

@@ -10,6 +10,25 @@ use cpsim_mgmt::{CloneMode, ControlPlane, Emit, OpKind, Operation, TaskReport};
 use crate::request::{CloudReport, CloudRequest, CloudStats};
 use crate::vapp::{Org, Vapp, VappState};
 
+/// What the director does when a provisioning member fails terminally
+/// (after the control plane's own retry budget is spent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Record the failure and let the workflow finish degraded.
+    #[default]
+    Fail,
+    /// Re-submit the failed clone — a fresh submission re-runs admission
+    /// and placement, steering around declared-down hosts — up to
+    /// `max_attempts` total attempts.
+    Retry {
+        /// Total attempts per member, including the first.
+        max_attempts: u32,
+    },
+    /// Tear the whole vApp down when any member fails: all-or-nothing
+    /// instantiation.
+    Rollback,
+}
+
 /// How the director provisions vApp members.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProvisioningPolicy {
@@ -20,6 +39,8 @@ pub struct ProvisioningPolicy {
     pub fencing: bool,
     /// Whether members are powered on after provisioning.
     pub power_on: bool,
+    /// What to do when a member fails terminally.
+    pub on_failure: FailurePolicy,
 }
 
 impl Default for ProvisioningPolicy {
@@ -28,6 +49,7 @@ impl Default for ProvisioningPolicy {
             mode: CloneMode::Linked,
             fencing: true,
             power_on: true,
+            on_failure: FailurePolicy::Fail,
         }
     }
 }
@@ -47,16 +69,45 @@ pub struct CloudOut {
 /// Per-operation continuation state.
 #[derive(Clone, Copy, Debug)]
 enum OpCtx {
-    Clone { wf: u64, vapp: VappId },
-    Fence { wf: u64, vm: VmId },
-    PowerOnStep { wf: u64 },
-    PowerOffOnly { wf: u64 },
-    PowerOffThenDestroy { wf: u64, vapp: VappId, vm: VmId },
-    Destroy { wf: u64, vapp: Option<VappId>, vm: VmId },
-    Seed { wf: u64 },
-    Rescan { wf: u64 },
-    HostAdd { wf: u64 },
-    Relocate { wf: u64 },
+    Clone {
+        wf: u64,
+        vapp: VappId,
+        source: VmId,
+        mode: CloneMode,
+        attempt: u32,
+    },
+    Fence {
+        wf: u64,
+        vm: VmId,
+    },
+    PowerOnStep {
+        wf: u64,
+    },
+    PowerOffOnly {
+        wf: u64,
+    },
+    PowerOffThenDestroy {
+        wf: u64,
+        vapp: VappId,
+        vm: VmId,
+    },
+    Destroy {
+        wf: u64,
+        vapp: Option<VappId>,
+        vm: VmId,
+    },
+    Seed {
+        wf: u64,
+    },
+    Rescan {
+        wf: u64,
+    },
+    HostAdd {
+        wf: u64,
+    },
+    Relocate {
+        wf: u64,
+    },
 }
 
 impl OpCtx {
@@ -213,11 +264,9 @@ impl CloudDirector {
                 lease,
             } => {
                 self.name_seq += 1;
-                let vapp = self.vapps.insert(Vapp::new(
-                    format!("vapp-{:05}", self.name_seq),
-                    org,
-                    now,
-                ));
+                let vapp =
+                    self.vapps
+                        .insert(Vapp::new(format!("vapp-{:05}", self.name_seq), org, now));
                 if let Some(o) = self.orgs.get_mut(org) {
                     o.vapp_count += 1;
                 }
@@ -228,7 +277,13 @@ impl CloudDirector {
                     self.issue(
                         now,
                         &mut wf,
-                        OpCtx::Clone { wf: wf_id, vapp },
+                        OpCtx::Clone {
+                            wf: wf_id,
+                            vapp,
+                            source: template,
+                            mode,
+                            attempt: 1,
+                        },
                         OpKind::CloneVm {
                             source: template,
                             mode,
@@ -321,7 +376,13 @@ impl CloudDirector {
                     self.issue(
                         now,
                         &mut wf,
-                        OpCtx::Clone { wf: wf_id, vapp },
+                        OpCtx::Clone {
+                            wf: wf_id,
+                            vapp,
+                            source: template,
+                            mode: self.policy.mode,
+                            attempt: 1,
+                        },
                         OpKind::CloneVm {
                             source: template,
                             mode: self.policy.mode,
@@ -333,10 +394,7 @@ impl CloudDirector {
             }
             CloudRequest::RedistributeTemplate { template } => {
                 let all: Vec<_> = plane.inventory().datastores().map(|(id, _)| id).collect();
-                let missing: Vec<_> = plane
-                    .residency()
-                    .missing_from(template, &all)
-                    .collect();
+                let missing: Vec<_> = plane.residency().missing_from(template, &all).collect();
                 for ds in missing {
                     self.issue(
                         now,
@@ -458,8 +516,7 @@ impl CloudDirector {
                 }
             }
             CloudRequest::AddHost { spec } => {
-                let datastores: Vec<_> =
-                    plane.inventory().datastores().map(|(id, _)| id).collect();
+                let datastores: Vec<_> = plane.inventory().datastores().map(|(id, _)| id).collect();
                 self.issue(
                     now,
                     &mut wf,
@@ -501,7 +558,38 @@ impl CloudDirector {
         let mut failed_step = !ok;
 
         match ctx {
-            OpCtx::Clone { wf, vapp } => {
+            OpCtx::Clone {
+                wf,
+                vapp,
+                source,
+                mode,
+                attempt,
+            } => {
+                if !ok {
+                    if let FailurePolicy::Retry { max_attempts } = self.policy.on_failure {
+                        if attempt < max_attempts {
+                            // Re-place and retry: the fresh submission
+                            // re-runs admission and placement, so the
+                            // member can land on a healthy host.
+                            failed_step = false;
+                            self.issue_continuation(
+                                now,
+                                wf,
+                                OpCtx::Clone {
+                                    wf,
+                                    vapp,
+                                    source,
+                                    mode,
+                                    attempt: attempt + 1,
+                                },
+                                OpKind::CloneVm { source, mode },
+                                plane,
+                                &mut out,
+                            );
+                            chain_ended = false;
+                        }
+                    }
+                }
                 if ok {
                     if let Some(vm) = report.produced_vm {
                         if let Some(v) = self.vapps.get_mut(vapp) {
@@ -599,6 +687,21 @@ impl CloudDirector {
             let report = Self::report_of(wf_id, &wf, now);
             self.stats.on_completed(&report);
             self.finalize_vapp(&wf, now, &mut out);
+            if self.policy.on_failure == FailurePolicy::Rollback
+                && report.ops_failed > 0
+                && wf.kind == "instantiate-vapp"
+            {
+                // All-or-nothing: a degraded vApp is torn down rather
+                // than handed to the tenant.
+                if let Some(vapp) = wf.vapp {
+                    if self.vapps.get(vapp).is_some() {
+                        let (_, rb) = self.submit(now, CloudRequest::DeleteVapp { vapp }, plane);
+                        out.mgmt.extend(rb.mgmt);
+                        out.reports.extend(rb.reports);
+                        out.leases.extend(rb.leases);
+                    }
+                }
+            }
             out.reports.push(report);
         }
         out
@@ -638,7 +741,8 @@ impl CloudDirector {
         self.ctx.insert(tag, ctx);
         wf.outstanding += 1;
         wf.issued += 1;
-        out.mgmt.extend(plane.submit(now, Operation::tagged(op, tag)));
+        out.mgmt
+            .extend(plane.submit(now, Operation::tagged(op, tag)));
     }
 
     /// Like [`issue`], but for a continuation inside an already-registered
@@ -659,15 +763,11 @@ impl CloudDirector {
         if let Some(wf) = self.workflows.get_mut(&wf_id) {
             wf.issued += 1;
         }
-        out.mgmt.extend(plane.submit(now, Operation::tagged(op, tag)));
+        out.mgmt
+            .extend(plane.submit(now, Operation::tagged(op, tag)));
     }
 
-    fn members_in_state(
-        &self,
-        vapp: VappId,
-        plane: &ControlPlane,
-        state: PowerState,
-    ) -> Vec<VmId> {
+    fn members_in_state(&self, vapp: VappId, plane: &ControlPlane, state: PowerState) -> Vec<VmId> {
         self.vapps
             .get(vapp)
             .map(|v| {

@@ -21,6 +21,6 @@ pub mod director;
 pub mod request;
 pub mod vapp;
 
-pub use director::{CloudDirector, CloudOut, ProvisioningPolicy};
+pub use director::{CloudDirector, CloudOut, FailurePolicy, ProvisioningPolicy};
 pub use request::{CloudReport, CloudRequest, CloudStats};
 pub use vapp::{Org, Vapp, VappState};

@@ -69,8 +69,10 @@ impl Sim {
 }
 
 fn sim() -> (Sim, OrgId, VmId) {
-    let mut cfg = ControlPlaneConfig::default();
-    cfg.heartbeat = cpsim_hostagent::HeartbeatSpec::disabled();
+    let cfg = ControlPlaneConfig {
+        heartbeat: cpsim_hostagent::HeartbeatSpec::disabled(),
+        ..Default::default()
+    };
     let mut plane = ControlPlane::new(cfg, Streams::new(11));
     let ds0 = plane.add_datastore(DatastoreSpec::new("ds0", 4096.0, 200.0));
     let ds1 = plane.add_datastore(DatastoreSpec::new("ds1", 4096.0, 200.0));
@@ -127,10 +129,7 @@ fn instantiate_vapp_provisions_fences_and_powers_on() {
     assert_eq!(v.vms.len(), 4);
     assert_eq!(v.state, cpsim_cloud::VappState::Deployed);
     for vm in &v.vms {
-        assert_eq!(
-            sim.plane.inventory().vm(*vm).unwrap().power,
-            PowerState::On
-        );
+        assert_eq!(sim.plane.inventory().vm(*vm).unwrap().power, PowerState::On);
     }
     assert_eq!(sim.director.stats().vms_provisioned(), 4);
     assert_eq!(sim.director.workflows_in_flight(), 0);
@@ -196,7 +195,10 @@ fn stop_and_start_cycle() {
     assert_eq!(stop.kind, "stop-vapp");
     assert_eq!(stop.ops_issued, 2);
     for vm in &sim.director.vapp(vapp).unwrap().vms {
-        assert_eq!(sim.plane.inventory().vm(*vm).unwrap().power, PowerState::Off);
+        assert_eq!(
+            sim.plane.inventory().vm(*vm).unwrap().power,
+            PowerState::Off
+        );
     }
 
     sim.submit(SimTime::from_hours(73), CloudRequest::StartVapp { vapp });
@@ -412,7 +414,12 @@ fn full_clone_policy_is_slower_than_linked() {
         let (mut sim, org, template) = sim();
         // Pre-seed the catalog everywhere so linked clones measure the
         // control path, not a first-use shadow copy.
-        let all: Vec<_> = sim.plane.inventory().datastores().map(|(id, _)| id).collect();
+        let all: Vec<_> = sim
+            .plane
+            .inventory()
+            .datastores()
+            .map(|(id, _)| id)
+            .collect();
         for ds in all {
             let _ = sim.plane.seed_template_now(template, ds);
         }

@@ -3,6 +3,7 @@
 
 use cpsim_cloud::{CloudDirector, CloudOut, CloudReport, CloudRequest};
 use cpsim_des::{EventQueue, Model, SimDuration, SimTime, Simulation};
+use cpsim_faults::FaultEvent;
 use cpsim_inventory::{DatastoreId, HostId, OrgId, VappId, VmId};
 use cpsim_mgmt::{ControlPlane, Emit, MgmtEvent, OpKind, Operation, TaskReport};
 use cpsim_workload::{GeneratedRequest, ReplayPlan, RequestGenerator, TraceAnalysis, TraceLog};
@@ -141,6 +142,7 @@ impl CloudSim {
         templates: Vec<VmId>,
         org: OrgId,
         collect_trace: bool,
+        fault_events: Vec<FaultEvent>,
     ) -> Self {
         let init = plane.init_events();
         let has_generator = generator.is_some();
@@ -164,6 +166,9 @@ impl CloudSim {
             if let Emit::At(t, ev) = e {
                 sim.schedule(t, CoreEvent::Mgmt(ev));
             }
+        }
+        for e in fault_events {
+            sim.schedule(e.at, CoreEvent::Mgmt(MgmtEvent::Fault(e.kind)));
         }
         if has_generator {
             let first = {
@@ -298,7 +303,10 @@ impl CloudSim {
         host: HostId,
         ds: DatastoreId,
     ) -> Result<VmId, String> {
-        self.sim.model_mut().plane.install_vm(name, spec, host, ds, false)
+        self.sim
+            .model_mut()
+            .plane
+            .install_vm(name, spec, host, ds, false)
     }
 
     /// Runs the characterization pass over the collected trace.

@@ -45,9 +45,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     );
     for &s in &shards {
         let run_with = |batching: bool| {
-            let mut config = ControlPlaneConfig::default();
-            config.shards = s;
-            config.db_batching = batching;
+            let mut config = ControlPlaneConfig {
+                shards: s,
+                db_batching: batching,
+                ..Default::default()
+            };
             // Each shard is a management server with its own task window;
             // host-side limits are physical and do not scale.
             config.limits.global = 640u32.saturating_mul(s);

@@ -34,10 +34,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let mut sim = Scenario::from_profile(&profile).seed(opts.seed).build();
         sim.run_until(SimTime::from_hours(hours));
         let mut a = sim.analyze_trace();
-        let mut row = vec![
-            profile.name.clone(),
-            a.lifetimes_hours.count().to_string(),
-        ];
+        let mut row = vec![profile.name.clone(), a.lifetimes_hours.count().to_string()];
         if a.lifetimes_hours.is_empty() {
             row.extend(std::iter::repeat_n("n/a".to_string(), PERCENTILES.len()));
         } else {

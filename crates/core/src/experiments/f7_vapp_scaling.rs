@@ -54,8 +54,10 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     for &size in &sizes {
         let mut row = vec![size.to_string()];
         for (_, limits) in configs() {
-            let mut config = ControlPlaneConfig::default();
-            config.limits = limits;
+            let config = ControlPlaneConfig {
+                limits,
+                ..Default::default()
+            };
             let latency = deploy_once(opts.seed, config, size);
             row.push(fmt(latency));
         }
@@ -74,6 +76,7 @@ fn deploy_once(seed: u64, config: ControlPlaneConfig, size: u32) -> f64 {
             mode: CloneMode::Linked,
             fencing: true,
             power_on: true,
+            ..Default::default()
         })
         .build();
     let template = sim.templates()[0];

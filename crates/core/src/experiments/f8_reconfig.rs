@@ -40,6 +40,7 @@ fn build(seed: u64, datastores: u32) -> CloudSim {
             mode: CloneMode::Linked,
             fencing: true,
             power_on: false,
+            ..Default::default()
         })
         .build()
 }
@@ -95,6 +96,7 @@ fn rebalance_table(opts: &ExpOptions) -> Table {
                 mode: CloneMode::Linked,
                 fencing: true,
                 power_on: false,
+                ..Default::default()
             })
             .build();
         // Crowd `n` full-clone VMs onto the template's home datastore by
@@ -144,7 +146,12 @@ fn rebalance_table(opts: &ExpOptions) -> Table {
 }
 
 /// Setup helper: install a powered-off 64 GiB VM on an exact location.
-fn sim_install(sim: &mut CloudSim, name: &str, host: cpsim_inventory::HostId, ds: cpsim_inventory::DatastoreId) {
+fn sim_install(
+    sim: &mut CloudSim,
+    name: &str,
+    host: cpsim_inventory::HostId,
+    ds: cpsim_inventory::DatastoreId,
+) {
     use cpsim_inventory::VmSpec;
     sim.install_vm_for_experiments(name, VmSpec::new(1, 1_024, 64.0), host, ds)
         .expect("crowding VM fits");

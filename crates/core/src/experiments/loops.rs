@@ -33,6 +33,7 @@ pub fn load_policy() -> ProvisioningPolicy {
         mode: CloneMode::Linked,
         fencing: true,
         power_on: false,
+        ..Default::default()
     }
 }
 
@@ -165,11 +166,24 @@ pub fn open_loop(
     interval: SimDuration,
     duration: SimDuration,
 ) -> (LoadResult, CloudSim) {
-    let mut sim = Scenario::bare(load_topology())
+    let sim = Scenario::bare(load_topology())
         .seed(seed)
         .config(config)
         .policy(load_policy())
         .build();
+    open_loop_on(sim, CloneMode::Linked, interval, duration)
+}
+
+/// Drives an already-built sim with the same open loop. The fault
+/// experiments build their own [`Scenario`] (carrying a fault plan and a
+/// failure policy) and reuse the loop so faulty and fault-free runs see
+/// identical offered load.
+pub fn open_loop_on(
+    mut sim: CloudSim,
+    mode: CloneMode,
+    interval: SimDuration,
+    duration: SimDuration,
+) -> (LoadResult, CloudSim) {
     sim.keep_task_reports(true);
     let template = sim.templates()[0];
     let org = sim.org();
@@ -183,7 +197,7 @@ pub fn open_loop(
                 org,
                 template,
                 count: 1,
-                mode: Some(CloneMode::Linked),
+                mode: Some(mode),
                 lease: None,
             },
         );

@@ -20,12 +20,13 @@
 //! | T2  | [`t2_breakdown`] | per-phase control-plane cost |
 //! | F10 | [`f10_scaleout`] | scale-out / DB batching ablation |
 //! | F11 | [`f11_heartbeat`] | background load scales with hosts |
+//! | F12 | [`f12_availability`] | goodput/availability under faults |
+//! | T3  | [`t3_faults`] | retry/abort/rollback breakdown |
 
 pub mod f10_scaleout;
 pub mod f11_heartbeat;
+pub mod f12_availability;
 pub mod f1_opmix;
-pub(crate) mod loops;
-pub(crate) mod probe;
 pub mod f2_arrivals;
 pub mod f3_latency_split;
 pub mod f4_throughput;
@@ -34,8 +35,11 @@ pub mod f6_lifetimes;
 pub mod f7_vapp_scaling;
 pub mod f8_reconfig;
 pub mod f9_queueing;
+pub(crate) mod loops;
+pub(crate) mod probe;
 pub mod t1_environments;
 pub mod t2_breakdown;
+pub mod t3_faults;
 
 use cpsim_metrics::Table;
 
@@ -155,6 +159,16 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 11: heartbeat/background load vs inventory size",
             run: f11_heartbeat::run,
         },
+        Experiment {
+            id: "f12",
+            title: "Figure 12: goodput and availability vs injected fault rate",
+            run: f12_availability::run,
+        },
+        Experiment {
+            id: "t3",
+            title: "Table III: retry/abort/rollback breakdown under faults",
+            run: t3_faults::run,
+        },
     ]
 }
 
@@ -182,7 +196,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 15);
     }
 
     #[test]

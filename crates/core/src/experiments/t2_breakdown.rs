@@ -51,9 +51,7 @@ mod tests {
     fn t2_covers_key_phases() {
         let tables = run(&ExpOptions::quick());
         let t = &tables[0];
-        let has = |kind: &str, label: &str| {
-            t.rows().iter().any(|r| r[0] == kind && r[2] == label)
-        };
+        let has = |kind: &str, label: &str| t.rows().iter().any(|r| r[0] == kind && r[2] == label);
         assert!(has("clone-linked", "api-ingress"));
         assert!(has("clone-linked", "placement"));
         assert!(has("clone-linked", "insert-vm"));

@@ -1,0 +1,166 @@
+//! T3 — per-operation retry / abort / rollback breakdown under a mixed
+//! fault plan.
+//!
+//! Complements F12's aggregate view: a single run under host crashes,
+//! datastore outages, DB degradation, heartbeat drops and agent hangs,
+//! broken down by operation kind — how many tasks of each kind retried a
+//! phase, how many exhausted their retry budget, and how many left
+//! partial state that the plane rolled back. A second table reports the
+//! plane-wide fault and recovery counters.
+
+use cpsim_cloud::{CloudRequest, FailurePolicy, ProvisioningPolicy};
+use cpsim_des::{SimDuration, SimTime};
+use cpsim_faults::{FaultKind, FaultPlan};
+use cpsim_metrics::Table;
+use cpsim_mgmt::CloneMode;
+
+use crate::experiments::loops::{load_policy, load_topology};
+use crate::experiments::ExpOptions;
+use crate::Scenario;
+
+/// The mixed fault plan T3 runs under.
+fn plan(horizon: SimDuration) -> FaultPlan {
+    FaultPlan::new(horizon)
+        .with_process(
+            6.0,
+            FaultKind::HostCrash {
+                host: 0,
+                down_for: SimDuration::from_mins(4),
+            },
+        )
+        .with_process(
+            2.0,
+            FaultKind::DatastoreOutage {
+                ds: 0,
+                duration: SimDuration::from_mins(3),
+            },
+        )
+        .with_process(
+            2.0,
+            FaultKind::DbDegraded {
+                factor: 3.0,
+                duration: SimDuration::from_mins(5),
+            },
+        )
+        .with_process(
+            3.0,
+            FaultKind::HeartbeatDrops {
+                host: 0,
+                duration: SimDuration::from_mins(2),
+            },
+        )
+        .with_agent_timeout_prob(0.03)
+}
+
+/// Runs T3.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let duration = SimDuration::from_mins(opts.pick(180, 45));
+    let mut sim = Scenario::bare(load_topology())
+        .seed(opts.seed)
+        .policy(ProvisioningPolicy {
+            on_failure: FailurePolicy::Retry { max_attempts: 3 },
+            ..load_policy()
+        })
+        .with_fault_plan(plan(duration))
+        .build();
+    let org = sim.org();
+    let template = sim.templates()[0];
+    // Two concurrent open loops: linked clones every 30 s (the pure
+    // control-plane stream) plus full clones every 150 s — a crash that
+    // interrupts a full clone's long copy leaves a partial work disk, the
+    // state the rollback column accounts for.
+    for (mode, interval) in [
+        (CloneMode::Linked, SimDuration::from_secs(30)),
+        (CloneMode::Full, SimDuration::from_secs(150)),
+    ] {
+        let mut t = SimTime::from_secs(1);
+        let end = SimTime::ZERO + duration;
+        while t < end {
+            sim.schedule_request(
+                t,
+                CloudRequest::InstantiateVapp {
+                    org,
+                    template,
+                    count: 1,
+                    mode: Some(mode),
+                    lease: None,
+                },
+            );
+            t += interval;
+        }
+    }
+    sim.run_until(SimTime::ZERO + duration);
+    let stats = sim.plane().stats();
+
+    let mut by_kind = Table::new(
+        "T3 — Retry / abort / rollback breakdown by operation kind",
+        &[
+            "operation",
+            "completed",
+            "failed",
+            "phase retries",
+            "aborted",
+            "rolled back",
+        ],
+    );
+    for (kind, ks) in stats.kinds() {
+        by_kind.row([
+            kind.to_string(),
+            ks.completed.to_string(),
+            ks.failed.to_string(),
+            ks.retries.to_string(),
+            ks.aborted.to_string(),
+            ks.rolled_back.to_string(),
+        ]);
+    }
+
+    let mut counters = Table::new(
+        "T3 — Plane-wide fault and recovery counters",
+        &["counter", "count"],
+    );
+    for (name, value) in [
+        ("host crashes injected", stats.host_crashes()),
+        ("hosts declared down", stats.hosts_declared_down()),
+        ("inventory resyncs", stats.resyncs()),
+        ("agent timeouts", stats.agent_timeouts()),
+        ("phase retries", stats.retries()),
+        ("task aborts", stats.aborts()),
+        ("rollbacks", stats.rollbacks()),
+    ] {
+        counters.row([name.to_string(), value.to_string()]);
+    }
+    vec![by_kind, counters]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_breaks_down_recovery_by_kind() {
+        let tables = run(&ExpOptions::quick());
+        let by_kind = &tables[0];
+        let clone = by_kind
+            .rows()
+            .iter()
+            .find(|r| r[0] == "clone-linked")
+            .expect("clones ran");
+        let retries: u64 = clone[3].parse().unwrap();
+        assert!(retries > 0, "faulty run must retry clone phases");
+
+        let counters = &tables[1];
+        let count = |name: &str| -> u64 {
+            counters
+                .rows()
+                .iter()
+                .find(|r| r[0] == name)
+                .map(|r| r[1].parse().unwrap())
+                .unwrap()
+        };
+        assert!(count("host crashes injected") > 0);
+        assert!(count("hosts declared down") > 0);
+        assert!(count("inventory resyncs") >= count("hosts declared down"));
+        assert!(count("phase retries") >= count("task aborts"));
+        assert!(count("rollbacks") > 0, "no partial state was rolled back");
+    }
+}

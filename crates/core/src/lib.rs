@@ -56,6 +56,7 @@ pub use scenario::Scenario;
 // need only depend on `cpsim`.
 pub use cpsim_cloud as cloud;
 pub use cpsim_des as des;
+pub use cpsim_faults as faults;
 pub use cpsim_hostagent as hostagent;
 pub use cpsim_inventory as inventory;
 pub use cpsim_metrics as metrics;

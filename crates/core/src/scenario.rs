@@ -3,6 +3,7 @@
 
 use cpsim_cloud::{CloudDirector, ProvisioningPolicy};
 use cpsim_des::{SimTime, Streams};
+use cpsim_faults::FaultPlan;
 use cpsim_inventory::{DatastoreId, DatastoreSpec, HostId, HostSpec, VmId, VmSpec};
 use cpsim_mgmt::{ControlPlane, ControlPlaneConfig};
 use cpsim_workload::{Profile, RequestGenerator, Topology, WorkloadSpec};
@@ -22,6 +23,7 @@ pub struct Scenario {
     workload: Option<WorkloadSpec>,
     policy: ProvisioningPolicy,
     collect_trace: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -34,6 +36,7 @@ impl Scenario {
             workload: Some(profile.workload.clone()),
             policy: ProvisioningPolicy::default(),
             collect_trace: true,
+            fault_plan: None,
         }
     }
 
@@ -47,6 +50,7 @@ impl Scenario {
             workload: None,
             policy: ProvisioningPolicy::default(),
             collect_trace: true,
+            fault_plan: None,
         }
     }
 
@@ -86,6 +90,16 @@ impl Scenario {
         self
     }
 
+    /// Installs a fault plan: its events are materialized from a dedicated
+    /// RNG stream family at build time and injected during the run, and
+    /// the control plane applies the plan's recovery policy. Without a
+    /// plan (or with an empty one) runs are bit-identical to builds that
+    /// never heard of faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// The topology this scenario will build.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -110,6 +124,18 @@ impl Scenario {
             RequestGenerator::new(spec, &streams.substreams(2), org, templates.clone())
         });
 
+        // Fault materialization and the injector's own draws (timeout
+        // coin-flips, backoff jitter) live on substream family 3, so they
+        // never perturb the plane/workload streams.
+        let fault_events = match &self.fault_plan {
+            Some(plan) if !plan.is_empty() => {
+                let fstreams = streams.substreams(3);
+                plane.enable_faults(plan.recovery, plan.agent_timeout_prob, fstreams.rng(0));
+                plan.materialize(&fstreams)
+            }
+            _ => Vec::new(),
+        };
+
         CloudSim::assemble(
             plane,
             director,
@@ -119,6 +145,7 @@ impl Scenario {
             templates,
             org,
             self.collect_trace,
+            fault_events,
         )
     }
 }

@@ -162,9 +162,7 @@ impl Dist {
                     rng.gen_range(*lo..*hi)
                 }
             }
-            Dist::Exponential { mean } => {
-                Exp::new(1.0 / mean).expect("validated").sample(rng)
-            }
+            Dist::Exponential { mean } => Exp::new(1.0 / mean).expect("validated").sample(rng),
             Dist::LogNormal { median, sigma } => LogNormal::new(median.ln(), *sigma)
                 .expect("validated")
                 .sample(rng),
@@ -211,9 +209,7 @@ impl Dist {
                 }
             }
             Dist::Weibull { scale, shape } => Some(scale * gamma(1.0 + 1.0 / shape)),
-            Dist::Empirical { points } => {
-                Some(points.iter().sum::<f64>() / points.len() as f64)
-            }
+            Dist::Empirical { points } => Some(points.iter().sum::<f64>() / points.len() as f64),
         }
     }
 }
@@ -222,7 +218,9 @@ fn ensure_nonneg(what: &str, v: f64) -> Result<(), DistError> {
     if v.is_finite() && v >= 0.0 {
         Ok(())
     } else {
-        Err(DistError::new(format!("{what} must be finite and >= 0, got {v}")))
+        Err(DistError::new(format!(
+            "{what} must be finite and >= 0, got {v}"
+        )))
     }
 }
 
@@ -230,7 +228,9 @@ fn ensure_pos(what: &str, v: f64) -> Result<(), DistError> {
     if v.is_finite() && v > 0.0 {
         Ok(())
     } else {
-        Err(DistError::new(format!("{what} must be finite and > 0, got {v}")))
+        Err(DistError::new(format!(
+            "{what} must be finite and > 0, got {v}"
+        )))
     }
 }
 
@@ -239,10 +239,10 @@ fn ensure_pos(what: &str, v: f64) -> Result<(), DistError> {
 fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,

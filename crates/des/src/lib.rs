@@ -55,7 +55,7 @@ pub mod time;
 
 pub use dist::{Dist, DistError};
 pub use engine::{Model, RunOutcome, Simulation};
-pub use queue::{EventQueue, TokenGen, TimerToken};
+pub use queue::{EventQueue, TimerToken, TokenGen};
 pub use resource::bandwidth::{SharedBandwidth, TransferDone, TransferPlan};
 pub use resource::fifo::FifoQueue;
 pub use resource::slots::SlotPool;

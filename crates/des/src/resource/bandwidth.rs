@@ -188,10 +188,7 @@ impl<K: Clone + PartialEq> SharedBandwidth<K> {
             0.0
         } else {
             let share = self.rate * dt / self.flows.len() as f64;
-            self.flows
-                .iter()
-                .map(|f| f.remaining.min(share))
-                .sum()
+            self.flows.iter().map(|f| f.remaining.min(share)).sum()
         };
         self.bytes_moved + draining
     }

@@ -110,6 +110,22 @@ impl<J> FifoQueue<J> {
         }
     }
 
+    /// Fails the station at `now`: every waiting job is evicted (and
+    /// returned, in FIFO order) and all servers are freed without serving
+    /// their jobs. In-service payloads are not stored here — they were
+    /// moved out to the caller at service start — so the caller is
+    /// responsible for any in-service jobs it is still tracking.
+    ///
+    /// Used to model a crashed host agent: the pending primitive queue is
+    /// lost wholesale.
+    pub fn fail_all(&mut self, now: SimTime) -> Vec<J> {
+        let dropped: Vec<J> = self.waiting.drain(..).map(|(_, job)| job).collect();
+        self.queue_len.set(now, 0.0);
+        self.busy = 0;
+        self.occupancy.set(now, 0.0);
+        dropped
+    }
+
     /// Number of servers.
     pub fn servers(&self) -> u32 {
         self.servers
@@ -147,11 +163,10 @@ impl<J> FifoQueue<J> {
 
     /// Mean waiting time of jobs that have entered service.
     pub fn mean_wait(&self) -> SimDuration {
-        if self.served == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.total_wait.as_micros() / self.served)
-        }
+        self.total_wait
+            .as_micros()
+            .checked_div(self.served)
+            .map_or(SimDuration::ZERO, SimDuration::from_micros)
     }
 
     /// Longest waiting time of any job that has entered service.
@@ -217,6 +232,20 @@ mod tests {
         q.arrive(SimTime::ZERO, 1); // queue length 1 from t=0
         q.complete(SimTime::from_secs(4)); // queue empties at t=4
         assert!((q.mean_queue_len(SimTime::from_secs(8)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fail_all_evicts_waiters_and_frees_servers() {
+        let mut q = FifoQueue::new(1);
+        q.arrive(SimTime::ZERO, 1);
+        q.arrive(SimTime::ZERO, 2);
+        q.arrive(SimTime::ZERO, 3);
+        let dropped = q.fail_all(SimTime::from_secs(5));
+        assert_eq!(dropped, vec![2, 3]);
+        assert_eq!(q.in_service(), 0);
+        assert_eq!(q.queue_len(), 0);
+        // The station is immediately usable again.
+        assert!(q.arrive(SimTime::from_secs(6), 4).is_some());
     }
 
     #[test]

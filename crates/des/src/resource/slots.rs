@@ -70,7 +70,10 @@ impl SlotPool {
     /// Panics if no permit is outstanding (a release/acquire imbalance is a
     /// logic error in the caller).
     pub fn release(&mut self) {
-        assert!(self.used > 0, "SlotPool::release with no permit outstanding");
+        assert!(
+            self.used > 0,
+            "SlotPool::release with no permit outstanding"
+        );
         self.used -= 1;
     }
 

@@ -246,7 +246,11 @@ impl fmt::Debug for SimDuration {
         } else if micros < 3_600 * MICROS_PER_SEC {
             write!(f, "{:.3}s", micros as f64 / MICROS_PER_SEC as f64)
         } else {
-            write!(f, "{:.3}h", micros as f64 / (3_600.0 * MICROS_PER_SEC as f64))
+            write!(
+                f,
+                "{:.3}h",
+                micros as f64 / (3_600.0 * MICROS_PER_SEC as f64)
+            )
         }
     }
 }

@@ -28,6 +28,30 @@ impl fmt::Display for HostAgentError {
 
 impl std::error::Error for HostAgentError {}
 
+/// Fault-injection adjustments applied to one submitted primitive.
+///
+/// The default (`scale == 1.0`, no forced time) reproduces the fault-free
+/// behavior exactly: the sampled service time is used untouched, with no
+/// extra arithmetic or RNG draws.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceMod {
+    /// Multiplier on the sampled service time (agent-slowdown windows).
+    pub scale: f64,
+    /// If set, the primitive takes exactly this long instead of a sampled
+    /// time — used to model a hung agent that runs into the management
+    /// plane's phase timeout.
+    pub force: Option<SimDuration>,
+}
+
+impl Default for ServiceMod {
+    fn default() -> Self {
+        ServiceMod {
+            scale: 1.0,
+            force: None,
+        }
+    }
+}
+
 /// A primitive that just entered service on some host.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AgentStart<J> {
@@ -42,18 +66,36 @@ pub struct AgentStart<J> {
     pub waited: SimDuration,
 }
 
+/// What was lost when a host crashed: see [`AgentFleet::crash_host`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashReport<J> {
+    /// Primitives that were in service when the host died.
+    pub interrupted: Vec<(Primitive, J)>,
+    /// Primitives still waiting in the agent queue.
+    pub dropped: Vec<(Primitive, J)>,
+}
+
 /// Per-host agents with bounded concurrency and FIFO overflow queues.
 pub struct AgentFleet<J> {
-    agents: BTreeMap<HostId, FifoQueue<(Primitive, J)>>,
+    agents: BTreeMap<HostId, FifoQueue<(Primitive, J, ServiceMod)>>,
+    /// Jobs currently in service per host; needed to identify what a
+    /// crash interrupts (the FIFO queue hands payloads back to the caller
+    /// at service start and does not retain them).
+    in_service_jobs: BTreeMap<HostId, Vec<(Primitive, J)>>,
+    /// Crash generation per host. Bumped on every crash so the control
+    /// plane can discard completion events scheduled before the crash.
+    epochs: BTreeMap<HostId, u64>,
     cost: HostCostModel,
     rng: SimRng,
 }
 
-impl<J> AgentFleet<J> {
+impl<J: Copy + PartialEq> AgentFleet<J> {
     /// Creates a fleet with the given cost model and service-time RNG.
     pub fn new(cost: HostCostModel, rng: SimRng) -> Self {
         AgentFleet {
             agents: BTreeMap::new(),
+            in_service_jobs: BTreeMap::new(),
+            epochs: BTreeMap::new(),
             cost,
             rng,
         }
@@ -67,6 +109,7 @@ impl<J> AgentFleet<J> {
     /// Panics if `concurrency` is zero.
     pub fn add_host(&mut self, host: HostId, concurrency: u32) {
         self.agents.insert(host, FifoQueue::new(concurrency));
+        self.in_service_jobs.insert(host, Vec::new());
     }
 
     /// Deregisters `host`'s agent.
@@ -83,6 +126,7 @@ impl<J> AgentFleet<J> {
             return Err(HostAgentError::HostBusy(host));
         }
         self.agents.remove(&host);
+        self.in_service_jobs.remove(&host);
         Ok(())
     }
 
@@ -100,17 +144,37 @@ impl<J> AgentFleet<J> {
         primitive: Primitive,
         job: J,
     ) -> Result<Option<AgentStart<J>>, HostAgentError> {
+        self.submit_with(now, host, primitive, job, ServiceMod::default())
+    }
+
+    /// [`submit`](Self::submit) with fault-injection adjustments attached
+    /// to the primitive.
+    pub fn submit_with(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        primitive: Primitive,
+        job: J,
+        service_mod: ServiceMod,
+    ) -> Result<Option<AgentStart<J>>, HostAgentError> {
         let agent = self
             .agents
             .get_mut(&host)
             .ok_or(HostAgentError::UnknownHost(host))?;
-        Ok(agent
-            .arrive(now, (primitive, job))
-            .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng)))
+        let started = agent
+            .arrive(now, (primitive, job, service_mod))
+            .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng));
+        if let Some(s) = &started {
+            self.in_service_jobs
+                .get_mut(&host)
+                .expect("agent without in-service tracking")
+                .push((s.primitive, s.job));
+        }
+        Ok(started)
     }
 
-    /// Reports that the primitive running on `host` finished; returns the
-    /// next queued primitive entering service, if any.
+    /// Reports that `finished` completed its primitive on `host`; returns
+    /// the next queued primitive entering service, if any.
     ///
     /// # Errors
     ///
@@ -118,19 +182,75 @@ impl<J> AgentFleet<J> {
     ///
     /// # Panics
     ///
-    /// Panics if the host had nothing in service (an orchestration bug).
+    /// Panics if `finished` was not in service on the host (an
+    /// orchestration bug — or a completion event that survived a crash,
+    /// which the caller must filter out via [`epoch`](Self::epoch)).
     pub fn complete(
         &mut self,
         now: SimTime,
         host: HostId,
+        finished: J,
     ) -> Result<Option<AgentStart<J>>, HostAgentError> {
         let agent = self
             .agents
             .get_mut(&host)
             .ok_or(HostAgentError::UnknownHost(host))?;
-        Ok(agent
+        let in_service = self
+            .in_service_jobs
+            .get_mut(&host)
+            .ok_or(HostAgentError::UnknownHost(host))?;
+        let pos = in_service
+            .iter()
+            .position(|(_, j)| *j == finished)
+            .expect("complete() for a job not in service");
+        in_service.swap_remove(pos);
+        let started = agent
             .complete(now)
-            .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng)))
+            .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng));
+        if let Some(s) = &started {
+            in_service.push((s.primitive, s.job));
+        }
+        Ok(started)
+    }
+
+    /// Kills `host`'s agent mid-flight: in-service primitives are
+    /// interrupted, queued primitives are dropped, and the host's crash
+    /// epoch is bumped so stale completion events can be recognized. The
+    /// agent itself stays registered (the host will reboot).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the host is unknown.
+    pub fn crash_host(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+    ) -> Result<CrashReport<J>, HostAgentError> {
+        let agent = self
+            .agents
+            .get_mut(&host)
+            .ok_or(HostAgentError::UnknownHost(host))?;
+        let dropped = agent
+            .fail_all(now)
+            .into_iter()
+            .map(|(p, j, _)| (p, j))
+            .collect();
+        let interrupted = std::mem::take(
+            self.in_service_jobs
+                .get_mut(&host)
+                .ok_or(HostAgentError::UnknownHost(host))?,
+        );
+        *self.epochs.entry(host).or_insert(0) += 1;
+        Ok(CrashReport {
+            interrupted,
+            dropped,
+        })
+    }
+
+    /// The crash epoch of `host` (0 if it has never crashed). Completion
+    /// events carrying an older epoch refer to work lost in a crash.
+    pub fn epoch(&self, host: HostId) -> u64 {
+        self.epochs.get(&host).copied().unwrap_or(0)
     }
 
     /// Primitives currently in service on `host`.
@@ -159,12 +279,22 @@ impl<J> AgentFleet<J> {
     }
 
     fn to_start(
-        adm: cpsim_des::resource::fifo::Admitted<(Primitive, J)>,
+        adm: cpsim_des::resource::fifo::Admitted<(Primitive, J, ServiceMod)>,
         cost: &HostCostModel,
         rng: &mut SimRng,
     ) -> AgentStart<J> {
-        let (primitive, job) = adm.job;
-        let service = SimDuration::from_secs_f64(cost.service_dist(primitive).sample(rng));
+        let (primitive, job, service_mod) = adm.job;
+        let service = match service_mod.force {
+            Some(forced) => forced,
+            None => {
+                let sampled = cost.service_dist(primitive).sample(rng);
+                if service_mod.scale != 1.0 {
+                    SimDuration::from_secs_f64(sampled * service_mod.scale)
+                } else {
+                    SimDuration::from_secs_f64(sampled)
+                }
+            }
+        };
         AgentStart {
             job,
             primitive,
@@ -217,8 +347,9 @@ mod tests {
         let (mut f, h) = fleet();
         f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
         f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 2).unwrap();
-        f.submit(SimTime::ZERO, h, Primitive::RegisterVm, 3).unwrap();
-        let next = f.complete(SimTime::from_secs(2), h).unwrap().unwrap();
+        f.submit(SimTime::ZERO, h, Primitive::RegisterVm, 3)
+            .unwrap();
+        let next = f.complete(SimTime::from_secs(2), h, 1).unwrap().unwrap();
         assert_eq!(next.job, 3);
         assert_eq!(next.primitive, Primitive::RegisterVm);
         assert_eq!(next.waited, SimDuration::from_secs(2));
@@ -230,8 +361,11 @@ mod tests {
         let (mut f, h1) = fleet();
         let h2 = HostId::from_parts(1, 1);
         f.add_host(h2, 1);
-        f.submit(SimTime::ZERO, h1, Primitive::PowerOnVm, 1).unwrap();
-        let s = f.submit(SimTime::ZERO, h2, Primitive::PowerOnVm, 2).unwrap();
+        f.submit(SimTime::ZERO, h1, Primitive::PowerOnVm, 1)
+            .unwrap();
+        let s = f
+            .submit(SimTime::ZERO, h2, Primitive::PowerOnVm, 2)
+            .unwrap();
         assert!(s.is_some(), "h2 idle even though h1 busy");
         assert_eq!(f.served(), 2);
     }
@@ -245,7 +379,11 @@ mod tests {
             Err(HostAgentError::UnknownHost(ghost))
         );
         assert_eq!(
-            f.complete(SimTime::ZERO, ghost),
+            f.complete(SimTime::ZERO, ghost, 1),
+            Err(HostAgentError::UnknownHost(ghost))
+        );
+        assert_eq!(
+            f.crash_host(SimTime::ZERO, ghost),
             Err(HostAgentError::UnknownHost(ghost))
         );
     }
@@ -255,7 +393,7 @@ mod tests {
         let (mut f, h) = fleet();
         f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
         assert_eq!(f.remove_host(h), Err(HostAgentError::HostBusy(h)));
-        f.complete(SimTime::from_secs(2), h).unwrap();
+        f.complete(SimTime::from_secs(2), h, 1).unwrap();
         f.remove_host(h).unwrap();
         assert!(!f.has_host(h));
     }
@@ -264,8 +402,75 @@ mod tests {
     fn utilization_reflects_busy_time() {
         let (mut f, h) = fleet();
         f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
-        f.complete(SimTime::from_secs(2), h).unwrap();
+        f.complete(SimTime::from_secs(2), h, 1).unwrap();
         // one of two slots busy for 2 s out of 4 s => 0.25
         assert!((f.utilization(h, SimTime::from_secs(4)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_mod_scales_and_forces() {
+        let (mut f, h) = fleet();
+        let slow = f
+            .submit_with(
+                SimTime::ZERO,
+                h,
+                Primitive::PowerOnVm,
+                1,
+                ServiceMod {
+                    scale: 3.0,
+                    force: None,
+                },
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(slow.service, SimDuration::from_secs(6), "2 s × 3");
+        let hung = f
+            .submit_with(
+                SimTime::ZERO,
+                h,
+                Primitive::PowerOnVm,
+                2,
+                ServiceMod {
+                    scale: 1.0,
+                    force: Some(SimDuration::from_secs(120)),
+                },
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(hung.service, SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn crash_reports_interrupted_and_dropped_and_bumps_epoch() {
+        let (mut f, h) = fleet();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 2).unwrap();
+        f.submit(SimTime::ZERO, h, Primitive::RegisterVm, 3)
+            .unwrap();
+        assert_eq!(f.epoch(h), 0);
+        let report = f.crash_host(SimTime::from_secs(1), h).unwrap();
+        assert_eq!(
+            report.interrupted,
+            vec![(Primitive::PowerOnVm, 1), (Primitive::PowerOnVm, 2)]
+        );
+        assert_eq!(report.dropped, vec![(Primitive::RegisterVm, 3)]);
+        assert_eq!(f.epoch(h), 1);
+        assert_eq!(f.in_service(h), 0);
+        assert_eq!(f.queue_len(h), 0);
+        // Rebooted host accepts new work immediately.
+        let s = f
+            .submit(SimTime::from_secs(2), h, Primitive::PowerOnVm, 4)
+            .unwrap();
+        assert!(s.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in service")]
+    fn stale_completion_panics() {
+        let (mut f, h) = fleet();
+        f.submit(SimTime::ZERO, h, Primitive::PowerOnVm, 1).unwrap();
+        f.crash_host(SimTime::ZERO, h).unwrap();
+        // Completion event from before the crash: job 1 is gone.
+        let _ = f.complete(SimTime::from_secs(2), h, 1);
     }
 }

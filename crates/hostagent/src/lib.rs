@@ -31,5 +31,5 @@ pub mod fleet;
 pub mod heartbeat;
 
 pub use cost::{HostCostModel, Primitive};
-pub use fleet::{AgentFleet, AgentStart, HostAgentError};
+pub use fleet::{AgentFleet, AgentStart, CrashReport, HostAgentError, ServiceMod};
 pub use heartbeat::HeartbeatSpec;

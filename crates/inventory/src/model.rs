@@ -187,11 +187,7 @@ impl Inventory {
             return Err(InventoryError::DatastoreNotConnected { host, datastore });
         }
         let id = self.vms.insert(Vm::new(name, spec, host, datastore));
-        self.hosts
-            .get_mut(host)
-            .expect("checked")
-            .vms
-            .push(id);
+        self.hosts.get_mut(host).expect("checked").vms.push(id);
         Ok(id)
     }
 

@@ -95,7 +95,10 @@ impl Summary {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -193,7 +196,9 @@ mod tests {
 
     #[test]
     fn moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.std_dev(), 2.0); // classic example
         assert!((s.cv() - 0.4).abs() < 1e-12);

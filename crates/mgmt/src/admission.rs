@@ -227,6 +227,13 @@ impl AdmissionControl {
         self.vm_locks.contains_key(&vm)
     }
 
+    /// Number of VMs currently holding any lock (exclusive or shared).
+    /// Zero once all work has drained — locks must never leak, even
+    /// through retry/abort/rollback paths.
+    pub fn vm_locks_held(&self) -> usize {
+        self.vm_locks.len()
+    }
+
     fn can_acquire(&self, scope: &Scope) -> bool {
         if !self.global.has_capacity() {
             return false;
@@ -253,8 +260,7 @@ impl AdmissionControl {
             return false;
         }
         scope.vms_shared.iter().all(|vm| {
-            !matches!(self.vm_locks.get(vm), Some(VmLock::Exclusive))
-                && !scope.vms.contains(vm)
+            !matches!(self.vm_locks.get(vm), Some(VmLock::Exclusive)) && !scope.vms.contains(vm)
         })
     }
 }
@@ -293,9 +299,11 @@ mod tests {
         assert!(ac.try_acquire(&scope));
         assert_eq!(ac.in_flight(), 1);
         assert!(ac.is_vm_locked(vm));
+        assert_eq!(ac.vm_locks_held(), 1);
         ac.release(&scope);
         assert_eq!(ac.in_flight(), 0);
         assert!(!ac.is_vm_locked(vm));
+        assert_eq!(ac.vm_locks_held(), 0);
     }
 
     #[test]

@@ -204,21 +204,29 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_caught() {
-        let mut c = ControlPlaneConfig::default();
-        c.cpu_cores = 0;
+        let c = ControlPlaneConfig {
+            cpu_cores: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ControlPlaneConfig::default();
-        c.linked_delta_gb = f64::NAN;
+        let c = ControlPlaneConfig {
+            linked_delta_gb: f64::NAN,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ControlPlaneConfig::default();
-        c.shards = 0;
+        let c = ControlPlaneConfig {
+            shards: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn scale_out_multiplies_resources() {
-        let mut c = ControlPlaneConfig::default();
-        c.shards = 4;
+        let c = ControlPlaneConfig {
+            shards: 4,
+            ..Default::default()
+        };
         assert_eq!(c.effective_cores(), 16);
         assert_eq!(c.effective_db_connections(), 16);
     }

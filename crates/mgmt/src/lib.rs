@@ -60,13 +60,16 @@ pub mod config;
 pub mod op;
 pub mod placement;
 pub mod plane;
+pub mod recovery;
 pub mod stats;
 pub mod task;
 
 pub use admission::{AdmissionControl, Scope};
 pub use config::{AdmissionLimits, ControlCostModel, ControlPlaneConfig};
+pub use cpsim_faults::{FaultKind, RecoveryPolicy};
 pub use op::{CloneMode, OpKind, Operation};
-pub use placement::{Placer, PlacementPolicy};
+pub use placement::{PlacementPolicy, Placer};
 pub use plane::{ControlPlane, Emit, MgmtEvent};
+pub use recovery::FaultInjector;
 pub use stats::MgmtStats;
 pub use task::{PhaseClass, Task, TaskReport};

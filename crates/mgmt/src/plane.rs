@@ -8,10 +8,11 @@
 use std::collections::BTreeMap;
 
 use cpsim_des::{FifoQueue, SimDuration, SimRng, SimTime, Streams};
-use cpsim_hostagent::{AgentFleet, Primitive};
+use cpsim_faults::{FaultKind, RecoveryPolicy};
+use cpsim_hostagent::{AgentFleet, Primitive, ServiceMod};
 use cpsim_inventory::{
-    Arena, DatastoreId, DatastoreSpec, HostId, HostSpec, Inventory, PowerState, TaskId, VmId,
-    VmSpec,
+    Arena, DatastoreId, DatastoreSpec, HostId, HostSpec, HostState, Inventory, PowerState, TaskId,
+    VmId, VmSpec,
 };
 use cpsim_storage::{StoragePool, TemplateResidency, TransferEngine, TransferId, GIB};
 
@@ -19,6 +20,7 @@ use crate::admission::{AdmissionControl, Scope};
 use crate::config::ControlPlaneConfig;
 use crate::op::{CloneMode, OpKind, Operation};
 use crate::placement::Placer;
+use crate::recovery::FaultInjector;
 use crate::stats::MgmtStats;
 use crate::task::{PhaseClass, Task, TaskReport};
 
@@ -61,6 +63,10 @@ pub enum MgmtEvent {
         primitive: Primitive,
         /// Its sampled service time.
         service: SimDuration,
+        /// The host's crash epoch at scheduling time; a mismatch at
+        /// delivery means the work was lost in a crash and the event is
+        /// stale.
+        epoch: u64,
     },
     /// A datastore bandwidth tick (possibly stale).
     TransferTick {
@@ -73,6 +79,13 @@ pub enum MgmtEvent {
     Heartbeat {
         /// Index into the plane's heartbeat slot table.
         slot: usize,
+    },
+    /// An injected fault (or its internally scheduled recovery) fires.
+    Fault(FaultKind),
+    /// A backed-off phase retry is due.
+    Retry {
+        /// The task replaying its failed stage.
+        task: TaskId,
     },
 }
 
@@ -101,6 +114,9 @@ enum Step {
     Acquire(Scope),
     Continue,
     Done,
+    /// Transient failure: retried with backoff when fault injection is
+    /// installed, terminal otherwise.
+    FailRetryable(String),
     Fail(String),
 }
 
@@ -126,6 +142,11 @@ pub struct ControlPlane {
     stats: MgmtStats,
     rng: SimRng,
     heartbeat_hosts: Vec<HostId>,
+    /// Datastores in creation order; fault plans address them by index.
+    datastore_order: Vec<DatastoreId>,
+    /// Fault-injection state; `None` (the default) leaves every fault
+    /// branch untaken and draws no fault randomness.
+    faults: Option<FaultInjector>,
     name_seq: u64,
 }
 
@@ -154,6 +175,8 @@ impl ControlPlane {
             stats: MgmtStats::new(),
             rng: streams.rng(Streams::SERVICE),
             heartbeat_hosts: Vec::new(),
+            datastore_order: Vec::new(),
+            faults: None,
             name_seq: 0,
             cfg,
         }
@@ -164,6 +187,7 @@ impl ControlPlane {
     /// Adds a datastore to the inventory and registers its copy engine.
     pub fn add_datastore(&mut self, spec: DatastoreSpec) -> DatastoreId {
         let id = self.inv.add_datastore(spec);
+        self.datastore_order.push(id);
         self.transfers
             .register_datastore(&self.inv, id)
             .expect("freshly added datastore");
@@ -254,11 +278,7 @@ impl ControlPlane {
     ///
     /// Fails if ids are stale, the datastore lacks space, or the template
     /// is already resident there.
-    pub fn seed_template_now(
-        &mut self,
-        template: VmId,
-        ds: DatastoreId,
-    ) -> Result<(), String> {
+    pub fn seed_template_now(&mut self, template: VmId, ds: DatastoreId) -> Result<(), String> {
         if self.residency.is_resident(template, ds) {
             return Err(format!("template {template} already resident on {ds}"));
         }
@@ -274,6 +294,20 @@ impl ControlPlane {
             .map_err(|e| e.to_string())?;
         self.residency.seed(template, ds, disk);
         Ok(())
+    }
+
+    /// Installs fault injection. `policy` governs phase timeouts, retry
+    /// budgets, backoff, and heartbeat-miss detection; `timeout_prob` is
+    /// the per-primitive hang probability; `rng` must come from a
+    /// dedicated stream so fault draws never perturb service-time
+    /// sampling.
+    pub fn enable_faults(&mut self, policy: RecoveryPolicy, timeout_prob: f64, rng: SimRng) {
+        self.faults = Some(FaultInjector::new(policy, timeout_prob, rng));
+    }
+
+    /// Whether fault injection is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Initial events: one staggered heartbeat per host. Call once after
@@ -396,7 +430,10 @@ impl ControlPlane {
                 }
                 if let Some(next) = self.cpu.complete(now) {
                     self.charge_queue_wait(next.job.owner, next.waited);
-                    out.push(Emit::At(now + next.job.service, MgmtEvent::CpuDone(next.job)));
+                    out.push(Emit::At(
+                        now + next.job.service,
+                        MgmtEvent::CpuDone(next.job),
+                    ));
                 }
                 if let Owner::Task(tid) = job.owner {
                     self.advance(now, tid, &mut out);
@@ -410,7 +447,10 @@ impl ControlPlane {
                 }
                 if let Some(next) = self.db.complete(now) {
                     self.charge_queue_wait(next.job.owner, next.waited);
-                    out.push(Emit::At(now + next.job.service, MgmtEvent::DbDone(next.job)));
+                    out.push(Emit::At(
+                        now + next.job.service,
+                        MgmtEvent::DbDone(next.job),
+                    ));
                 }
                 if let Owner::Task(tid) = job.owner {
                     self.advance(now, tid, &mut out);
@@ -421,11 +461,21 @@ impl ControlPlane {
                 task,
                 primitive,
                 service,
+                epoch,
             } => {
-                if let Some(t) = self.tasks.get_mut(task) {
-                    t.charge(PhaseClass::HostAgent, primitive.name(), service.as_secs_f64());
+                if epoch != self.agents.epoch(host) {
+                    // Scheduled before the host crashed: the primitive was
+                    // lost and the task already took the failure path.
+                    return out;
                 }
-                match self.agents.complete(now, host) {
+                if let Some(t) = self.tasks.get_mut(task) {
+                    t.charge(
+                        PhaseClass::HostAgent,
+                        primitive.name(),
+                        service.as_secs_f64(),
+                    );
+                }
+                match self.agents.complete(now, host, task) {
                     Ok(Some(next)) => {
                         self.charge_queue_wait(Owner::Task(next.job), next.waited);
                         out.push(Emit::At(
@@ -435,13 +485,24 @@ impl ControlPlane {
                                 task: next.job,
                                 primitive: next.primitive,
                                 service: next.service,
+                                epoch,
                             },
                         ));
                     }
                     Ok(None) => {}
                     Err(_) => {} // host removed mid-flight; nothing to start
                 }
-                self.advance(now, task, &mut out);
+                let timed_out = self.tasks.get(task).is_some_and(|t| t.pending_timeout);
+                if timed_out {
+                    self.on_phase_failure(
+                        now,
+                        task,
+                        format!("host agent timed out during {}", primitive.name()),
+                        &mut out,
+                    );
+                } else {
+                    self.advance(now, task, &mut out);
+                }
             }
             MgmtEvent::TransferTick { datastore, epoch } => {
                 if let Some((finished, next)) = self.transfers.on_tick(now, datastore, epoch) {
@@ -457,8 +518,7 @@ impl ControlPlane {
                     for xid in finished {
                         if let Some(owner) = self.transfer_owner.remove(&xid) {
                             if let Some(t) = self.tasks.get_mut(owner.task) {
-                                let started =
-                                    t.transfer_started.take().unwrap_or(now);
+                                let started = t.transfer_started.take().unwrap_or(now);
                                 t.charge(
                                     PhaseClass::DataTransfer,
                                     owner.label,
@@ -473,6 +533,12 @@ impl ControlPlane {
             MgmtEvent::Heartbeat { slot } => {
                 self.on_heartbeat(now, slot, &mut out);
             }
+            MgmtEvent::Fault(kind) => {
+                self.on_fault(now, kind, &mut out);
+            }
+            MgmtEvent::Retry { task } => {
+                self.advance(now, task, &mut out);
+            }
         }
         out
     }
@@ -485,13 +551,59 @@ impl ControlPlane {
             return; // host removed: stop its beats
         }
         let hb = self.cfg.heartbeat;
-        if !hb.mgmt_cpu.is_zero() {
-            self.enqueue_cpu(now, Owner::Background, "heartbeat", hb.mgmt_cpu, out);
-        }
-        if !hb.db_time.is_zero() {
-            self.enqueue_db(now, Owner::Background, "heartbeat", hb.db_time, out);
+        let missed = self
+            .faults
+            .as_ref()
+            .is_some_and(|inj| inj.host_down(host) || inj.hb_dropped(host));
+        if missed {
+            // No beat arrives (and nothing is charged): consecutive misses
+            // eventually make the plane declare the host down, triggering
+            // an inventory resync the control plane pays for.
+            let threshold = self
+                .faults
+                .as_ref()
+                .expect("missed implies injector")
+                .policy()
+                .heartbeat_miss_threshold;
+            let misses = self.faults.as_mut().expect("checked").record_miss(host);
+            let connected = self
+                .inv
+                .host(host)
+                .is_some_and(|h| h.state == HostState::Connected);
+            if misses >= threshold && connected {
+                let _ = self.inv.set_host_state(host, HostState::Disconnected);
+                self.faults.as_mut().expect("checked").declare_down(host);
+                self.stats.on_host_declared_down();
+                self.charge_resync(now, out);
+            }
+        } else {
+            if let Some(inj) = self.faults.as_mut() {
+                inj.reset_misses(host);
+                if inj.is_declared_down(host) {
+                    // The host answered again: reconnect it and resync.
+                    inj.clear_declared(host);
+                    let _ = self.inv.set_host_state(host, HostState::Connected);
+                    self.charge_resync(now, out);
+                }
+            }
+            if !hb.mgmt_cpu.is_zero() {
+                self.enqueue_cpu(now, Owner::Background, "heartbeat", hb.mgmt_cpu, out);
+            }
+            if !hb.db_time.is_zero() {
+                self.enqueue_db(now, Owner::Background, "heartbeat", hb.db_time, out);
+            }
         }
         out.push(Emit::At(now + hb.interval, MgmtEvent::Heartbeat { slot }));
+    }
+
+    /// Charges the CPU + DB cost of a host-state resync as background
+    /// management load (host declared down, or reconnected after one).
+    fn charge_resync(&mut self, now: SimTime, out: &mut Vec<Emit>) {
+        self.stats.on_resync();
+        let cpu = self.sample(&self.cfg.cost.host_sync.clone());
+        self.enqueue_cpu(now, Owner::Background, "host-resync", cpu, out);
+        let db = self.sample(&self.cfg.cost.db_update.clone());
+        self.enqueue_db(now, Owner::Background, "host-resync", db, out);
     }
 
     fn charge_queue_wait(&mut self, owner: Owner, waited: SimDuration) {
@@ -531,6 +643,13 @@ impl ControlPlane {
         service: SimDuration,
         out: &mut Vec<Emit>,
     ) {
+        // Degraded-DB windows stretch every statement while active.
+        let service = match &self.faults {
+            Some(inj) if inj.db_scale() != 1.0 => {
+                SimDuration::from_secs_f64(service.as_secs_f64() * inj.db_scale())
+            }
+            _ => service,
+        };
         let job = ServiceJob {
             owner,
             label,
@@ -561,7 +680,37 @@ impl ControlPlane {
                     return;
                 }
                 Step::Agent(host, primitive) => {
-                    match self.agents.submit(now, host, primitive, tid) {
+                    if self.faults.as_ref().is_some_and(|inj| inj.host_down(host)) {
+                        self.on_phase_failure(
+                            now,
+                            tid,
+                            format!("host not responding during {}", primitive.name()),
+                            out,
+                        );
+                        return;
+                    }
+                    let mut service_mod = ServiceMod::default();
+                    let mut hangs = false;
+                    if let Some(inj) = self.faults.as_mut() {
+                        let scale = inj.agent_scale();
+                        if scale != 1.0 {
+                            service_mod.scale = scale;
+                        }
+                        if inj.draw_timeout() {
+                            // The primitive hangs: it occupies the agent
+                            // until the phase timeout, then fails.
+                            service_mod.force = Some(inj.policy().agent_timeout);
+                            hangs = true;
+                        }
+                    }
+                    if hangs {
+                        self.stats.on_agent_timeout();
+                        self.tasks.get_mut(tid).expect("live").pending_timeout = true;
+                    }
+                    match self
+                        .agents
+                        .submit_with(now, host, primitive, tid, service_mod)
+                    {
                         Ok(Some(start)) => {
                             out.push(Emit::At(
                                 now + start.service,
@@ -570,6 +719,7 @@ impl ControlPlane {
                                     task: tid,
                                     primitive: start.primitive,
                                     service: start.service,
+                                    epoch: self.agents.epoch(host),
                                 },
                             ));
                         }
@@ -587,7 +737,8 @@ impl ControlPlane {
                     label,
                 } => {
                     let (xid, events) = self.transfers.start(now, src, dst, bytes);
-                    self.transfer_owner.insert(xid, TransferOwner { task: tid, label });
+                    self.transfer_owner
+                        .insert(xid, TransferOwner { task: tid, label });
                     if let Some(t) = self.tasks.get_mut(tid) {
                         t.transfer_started = Some(now);
                     }
@@ -617,6 +768,10 @@ impl ControlPlane {
                     self.finish(now, tid, None, out);
                     return;
                 }
+                Step::FailRetryable(err) => {
+                    self.on_phase_failure(now, tid, err, out);
+                    return;
+                }
                 Step::Fail(err) => {
                     self.finish(now, tid, Some(err), out);
                     return;
@@ -628,7 +783,11 @@ impl ControlPlane {
     /// Completes `tid`, releases its scope, resumes parked tasks, and
     /// emits the report.
     fn finish(&mut self, now: SimTime, tid: TaskId, error: Option<String>, out: &mut Vec<Emit>) {
-        let task = self.tasks.remove(tid).expect("finishing a live task");
+        let mut task = self.tasks.remove(tid).expect("finishing a live task");
+        if error.is_some() && self.rollback_partial(&mut task) {
+            task.rolled_back = true;
+            self.stats.on_rollback();
+        }
         let report = TaskReport {
             kind: task.op.kind.name(),
             tag: task.op.tag,
@@ -645,6 +804,9 @@ impl ControlPlane {
             target_vm: task.target_vm,
             placement: task.placement,
             error: error.clone(),
+            retries: task.retries,
+            aborted: task.aborted,
+            rolled_back: task.rolled_back,
             breakdown: task.breakdown.clone(),
         };
         self.stats.on_finished(&report);
@@ -670,6 +832,183 @@ impl ControlPlane {
             self.inv.check_invariants().is_ok(),
             "inventory invariants violated after {kind:?}"
         );
+    }
+
+    /// Tears down partial state left by a failed task: a produced VM (and
+    /// its disks) and any scratch disk whose copy never finished. Returns
+    /// whether anything was released. Runs on every failure path so a
+    /// half-provisioned VM never outlives its failed task.
+    fn rollback_partial(&mut self, task: &mut Task) -> bool {
+        let mut any = false;
+        if let Some(vm) = task.produced_vm.take() {
+            if self.inv.vm(vm).is_some() {
+                // Mirror plan_destroy: power off, detach disks, destroy.
+                // Each step tolerates absence (the task may have failed at
+                // any point in the provisioning program).
+                let _ = self.inv.power_off(vm);
+                let disks = self.inv.vm(vm).map(|v| v.disks.clone()).unwrap_or_default();
+                for d in disks {
+                    let _ = self.storage.detach(&mut self.inv, d);
+                }
+                let _ = self.inv.destroy_vm(vm);
+                any = true;
+            }
+        }
+        if let Some(d) = task.work_disk.take() {
+            // Still set only while the disk is dangling: attach points
+            // clear `work_disk`, so this cannot double-free.
+            if self.storage.disk(d).is_some() {
+                let _ = self.storage.detach(&mut self.inv, d);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// A phase failed for a (possibly transient) fault-related reason.
+    /// With fault injection installed the stage is retried after an
+    /// exponential backoff until the retry budget runs out; without it the
+    /// failure is terminal.
+    fn on_phase_failure(&mut self, now: SimTime, tid: TaskId, err: String, out: &mut Vec<Emit>) {
+        let Some(max_retries) = self.faults.as_ref().map(|inj| inj.policy().max_retries) else {
+            self.finish(now, tid, Some(err), out);
+            return;
+        };
+        let Some(t) = self.tasks.get_mut(tid) else {
+            return; // already finished (a crash raced with another failure)
+        };
+        t.pending_timeout = false;
+        if t.retries >= max_retries {
+            t.aborted = true;
+            self.stats.on_abort();
+            self.finish(now, tid, Some(err), out);
+            return;
+        }
+        t.retries += 1;
+        // plan_step pre-increments the stage counter, so stepping it back
+        // makes the retry replay the failed stage — with freshly sampled
+        // costs, which is the retry amplification of control-plane load
+        // the availability experiment measures.
+        t.stage -= 1;
+        let attempt = t.retries;
+        self.stats.on_retry();
+        let backoff = self
+            .faults
+            .as_mut()
+            .expect("checked above")
+            .backoff(attempt);
+        out.push(Emit::At(now + backoff, MgmtEvent::Retry { task: tid }));
+    }
+
+    /// Applies one injected fault at `now`. Host/datastore indices in the
+    /// plan are resolved modulo the current topology; recovery events are
+    /// scheduled here so every fault window closes itself.
+    fn on_fault(&mut self, now: SimTime, kind: FaultKind, out: &mut Vec<Emit>) {
+        if self.faults.is_none() {
+            return;
+        }
+        match kind {
+            FaultKind::HostCrash { host, down_for } => {
+                if self.heartbeat_hosts.is_empty() {
+                    return;
+                }
+                let hid = self.heartbeat_hosts[host % self.heartbeat_hosts.len()];
+                if self.inv.host(hid).is_none()
+                    || self.faults.as_ref().expect("checked").host_down(hid)
+                {
+                    return; // removed or already down: nothing new fails
+                }
+                self.faults
+                    .as_mut()
+                    .expect("checked")
+                    .mark_host_down(host, hid);
+                self.stats.on_host_crash();
+                out.push(Emit::At(
+                    now + down_for,
+                    MgmtEvent::Fault(FaultKind::HostRecover { host }),
+                ));
+                let report = self.agents.crash_host(now, hid).expect("registered agent");
+                for (prim, tid) in report.interrupted.into_iter().chain(report.dropped) {
+                    self.on_phase_failure(
+                        now,
+                        tid,
+                        format!("host crashed during {}", prim.name()),
+                        out,
+                    );
+                }
+                // Inventory state is deliberately NOT flipped here: the
+                // plane only learns of the crash through missed
+                // heartbeats, so detection latency is emergent.
+            }
+            FaultKind::HostRecover { host } => {
+                // Clear the down flag; reconnection happens when healthy
+                // heartbeats resume.
+                let _ = self.faults.as_mut().expect("checked").recover_host(host);
+            }
+            FaultKind::AgentSlowdown { factor, duration } => {
+                self.faults
+                    .as_mut()
+                    .expect("checked")
+                    .push_agent_slow(factor);
+                out.push(Emit::At(
+                    now + duration,
+                    MgmtEvent::Fault(FaultKind::AgentSpeedRestore { factor }),
+                ));
+            }
+            FaultKind::AgentSpeedRestore { factor } => {
+                self.faults
+                    .as_mut()
+                    .expect("checked")
+                    .pop_agent_slow(factor);
+            }
+            FaultKind::DbDegraded { factor, duration } => {
+                self.faults.as_mut().expect("checked").push_db_slow(factor);
+                out.push(Emit::At(
+                    now + duration,
+                    MgmtEvent::Fault(FaultKind::DbRestore { factor }),
+                ));
+            }
+            FaultKind::DbRestore { factor } => {
+                self.faults.as_mut().expect("checked").pop_db_slow(factor);
+            }
+            FaultKind::DatastoreOutage { ds, duration } => {
+                if self.datastore_order.is_empty() {
+                    return;
+                }
+                let did = self.datastore_order[ds % self.datastore_order.len()];
+                if self.faults.as_ref().expect("checked").ds_down(did) {
+                    return;
+                }
+                self.faults.as_mut().expect("checked").mark_ds_down(ds, did);
+                out.push(Emit::At(
+                    now + duration,
+                    MgmtEvent::Fault(FaultKind::DatastoreRestore { ds }),
+                ));
+            }
+            FaultKind::DatastoreRestore { ds } => {
+                let _ = self.faults.as_mut().expect("checked").restore_ds(ds);
+            }
+            FaultKind::HeartbeatDrops { host, duration } => {
+                if self.heartbeat_hosts.is_empty() {
+                    return;
+                }
+                let hid = self.heartbeat_hosts[host % self.heartbeat_hosts.len()];
+                if self.faults.as_ref().expect("checked").hb_dropped(hid) {
+                    return;
+                }
+                self.faults
+                    .as_mut()
+                    .expect("checked")
+                    .mark_hb_dropped(host, hid);
+                out.push(Emit::At(
+                    now + duration,
+                    MgmtEvent::Fault(FaultKind::HeartbeatRestore { host }),
+                ));
+            }
+            FaultKind::HeartbeatRestore { host } => {
+                let _ = self.faults.as_mut().expect("checked").restore_hb(host);
+            }
+        }
     }
 
     fn sample(&mut self, dist: &cpsim_des::Dist) -> SimDuration {
@@ -710,12 +1049,9 @@ impl ControlPlane {
             OpKind::CloneVm { source, mode } => self.plan_clone(tid, stage, source, mode),
             OpKind::PowerOn { vm } => self.plan_power(tid, stage, vm, true),
             OpKind::PowerOff { vm } => self.plan_power(tid, stage, vm, false),
-            OpKind::Reconfigure { vm } => self.plan_simple_vm_op(
-                tid,
-                stage,
-                vm,
-                Primitive::ReconfigureVm,
-            ),
+            OpKind::Reconfigure { vm } => {
+                self.plan_simple_vm_op(tid, stage, vm, Primitive::ReconfigureVm)
+            }
             OpKind::Snapshot { vm } => self.plan_snapshot(tid, stage, vm),
             OpKind::RemoveSnapshot { vm } => self.plan_remove_snapshot(tid, stage, vm),
             OpKind::DestroyVm { vm } => self.plan_destroy(tid, stage, vm),
@@ -734,9 +1070,8 @@ impl ControlPlane {
     fn placement_step(&mut self) -> Step {
         let hosts = self.inv.counts().hosts;
         let base = self.sample(&self.cfg.cost.placement_base.clone());
-        let per_host = SimDuration::from_secs_f64(
-            self.cfg.cost.placement_per_host_us * 1e-6 * hosts as f64,
-        );
+        let per_host =
+            SimDuration::from_secs_f64(self.cfg.cost.placement_per_host_us * 1e-6 * hosts as f64);
         Step::Cpu("placement", base + per_host)
     }
 
@@ -758,7 +1093,15 @@ impl ControlPlane {
                 Step::Db("insert-vm", d)
             }
             6 => {
-                let (host, ds) = self.tasks.get(tid).expect("live").placement.expect("placed");
+                let (host, ds) = self
+                    .tasks
+                    .get(tid)
+                    .expect("live")
+                    .placement
+                    .expect("placed");
+                if self.faults.as_ref().is_some_and(|i| i.ds_down(ds)) {
+                    return Step::FailRetryable(format!("datastore {ds} unavailable"));
+                }
                 let name = self.next_clone_name();
                 let vm = match self.inv.create_vm(name, spec, host, ds) {
                     Ok(vm) => vm,
@@ -820,8 +1163,7 @@ impl ControlPlane {
                     );
                 }
                 let spec = src.spec;
-                let prefer = (mode == CloneMode::Linked
-                    && self.cfg.placement_prefers_resident)
+                let prefer = (mode == CloneMode::Linked && self.cfg.placement_prefers_resident)
                     .then_some(source);
                 let disk_need = match mode {
                     CloneMode::Full => spec.disk_gb,
@@ -875,7 +1217,15 @@ impl ControlPlane {
             }
             7 => {
                 // Create the VM record and kick off data materialization.
-                let (host, ds) = self.tasks.get(tid).expect("live").placement.expect("placed");
+                let (host, ds) = self
+                    .tasks
+                    .get(tid)
+                    .expect("live")
+                    .placement
+                    .expect("placed");
+                if self.faults.as_ref().is_some_and(|i| i.ds_down(ds)) {
+                    return Step::FailRetryable(format!("datastore {ds} unavailable"));
+                }
                 let (spec, src_ds) = match self.inv.vm(source) {
                     Some(v) => (v.spec, v.datastore),
                     None => return Step::Fail("clone source vanished".into()),
@@ -905,11 +1255,10 @@ impl ControlPlane {
                         Step::Continue
                     }
                     CloneMode::Full => {
-                        let disk =
-                            match self.storage.create_base(&mut self.inv, ds, spec.disk_gb) {
-                                Ok(d) => d,
-                                Err(e) => return Step::Fail(e.to_string()),
-                            };
+                        let disk = match self.storage.create_base(&mut self.inv, ds, spec.disk_gb) {
+                            Ok(d) => d,
+                            Err(e) => return Step::Fail(e.to_string()),
+                        };
                         self.tasks.get_mut(tid).expect("live").work_disk = Some(disk);
                         Step::Transfer {
                             src: src_ds,
@@ -948,12 +1297,28 @@ impl ControlPlane {
             }
             8 => {
                 // Wire up disks now that data movement is done.
-                let (_, ds) = self.tasks.get(tid).expect("live").placement.expect("placed");
-                let vm = self.tasks.get(tid).expect("live").produced_vm.expect("created");
+                let (_, ds) = self
+                    .tasks
+                    .get(tid)
+                    .expect("live")
+                    .placement
+                    .expect("placed");
+                let vm = self
+                    .tasks
+                    .get(tid)
+                    .expect("live")
+                    .produced_vm
+                    .expect("created");
                 match mode {
                     CloneMode::Instant => return Step::Continue,
                     CloneMode::Full => {
-                        let disk = self.tasks.get(tid).expect("live").work_disk.expect("created");
+                        let disk = self
+                            .tasks
+                            .get_mut(tid)
+                            .expect("live")
+                            .work_disk
+                            .take()
+                            .expect("created");
                         self.inv.vm_mut(vm).expect("live").disks.push(disk);
                     }
                     CloneMode::Linked => {
@@ -989,6 +1354,7 @@ impl ControlPlane {
                             } else if let Err(e) = self.storage.detach(&mut self.inv, parent) {
                                 return Step::Fail(e.to_string());
                             }
+                            self.tasks.get_mut(tid).expect("live").work_disk = None;
                         }
                     }
                 }
@@ -1302,6 +1668,9 @@ impl ControlPlane {
                     }
                     None => return Step::Fail("vm vanished".into()),
                 };
+                if self.faults.as_ref().is_some_and(|i| i.ds_down(dst)) {
+                    return Step::FailRetryable(format!("datastore {dst} unavailable"));
+                }
                 let new_disk = match self.storage.create_base(&mut self.inv, dst, total_gb) {
                     Ok(d) => d,
                     Err(e) => return Step::Fail(e.to_string()),
@@ -1315,7 +1684,13 @@ impl ControlPlane {
                 }
             }
             5 => {
-                let new_disk = self.tasks.get(tid).expect("live").work_disk.expect("created");
+                let new_disk = self
+                    .tasks
+                    .get_mut(tid)
+                    .expect("live")
+                    .work_disk
+                    .take()
+                    .expect("created");
                 let old_disks = match self.inv.vm(vm) {
                     Some(v) => v.disks.clone(),
                     None => return Step::Fail("vm vanished".into()),
@@ -1356,6 +1731,9 @@ impl ControlPlane {
                     Some(v) => (v.datastore, v.spec.disk_gb),
                     None => return Step::Fail(format!("template {template} no longer exists")),
                 };
+                if self.faults.as_ref().is_some_and(|i| i.ds_down(dst)) {
+                    return Step::FailRetryable(format!("datastore {dst} unavailable"));
+                }
                 let disk = match self.storage.create_base(&mut self.inv, dst, gb) {
                     Ok(d) => d,
                     Err(e) => return Step::Fail(e.to_string()),
@@ -1369,7 +1747,13 @@ impl ControlPlane {
                 }
             }
             5 => {
-                let disk = self.tasks.get(tid).expect("live").work_disk.expect("created");
+                let disk = self
+                    .tasks
+                    .get_mut(tid)
+                    .expect("live")
+                    .work_disk
+                    .take()
+                    .expect("created");
                 self.residency.seed(template, dst, disk);
                 Step::Continue
             }
@@ -1437,9 +1821,14 @@ impl ControlPlane {
                 if self.inv.host(host).is_none() {
                     return Step::Fail(format!("host {host} no longer exists"));
                 }
-                let ds = self.inv.host(host).expect("live").datastores.first().copied();
-                self.tasks.get_mut(tid).expect("live").placement =
-                    ds.map(|d| (host, d));
+                let ds = self
+                    .inv
+                    .host(host)
+                    .expect("live")
+                    .datastores
+                    .first()
+                    .copied();
+                self.tasks.get_mut(tid).expect("live").placement = ds.map(|d| (host, d));
                 Step::Acquire(Scope::global_only().with_host(host))
             }
             4 => Step::Agent(host, Primitive::MountDatastore),

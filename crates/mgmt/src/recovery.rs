@@ -1,0 +1,292 @@
+//! Fault-injection state tracked by the control plane: which hosts and
+//! datastores are currently impaired, active slowdown windows, heartbeat
+//! miss counters, and the deterministic RNG used for timeout draws and
+//! retry-backoff jitter.
+//!
+//! The [`FaultInjector`] is pure bookkeeping — the [`ControlPlane`]
+//! consults it at each decision point (agent submission, heartbeat,
+//! datastore-touching phases) and mutates it when fault events fire. When
+//! no injector is installed the plane takes none of those branches and
+//! draws none of this randomness, which is what makes fault-free runs
+//! bit-identical to builds without a fault plan.
+//!
+//! [`ControlPlane`]: crate::plane::ControlPlane
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cpsim_des::{SimDuration, SimRng};
+use cpsim_faults::RecoveryPolicy;
+use cpsim_inventory::{DatastoreId, HostId};
+use rand::Rng;
+
+/// Live fault state plus the recovery policy the plane applies.
+#[derive(Debug)]
+pub struct FaultInjector {
+    policy: RecoveryPolicy,
+    timeout_prob: f64,
+    rng: SimRng,
+    /// Hosts currently crashed (agent dead, heartbeats silent).
+    down_hosts: BTreeSet<HostId>,
+    /// Hosts whose heartbeats are dropped by the network (host itself up).
+    hb_dropped: BTreeSet<HostId>,
+    /// Datastores currently refusing new work.
+    ds_down: BTreeSet<DatastoreId>,
+    /// Active agent-slowdown factors; effective scale is their product.
+    agent_slow: Vec<f64>,
+    /// Active DB-degradation factors; effective scale is their product.
+    db_slow: Vec<f64>,
+    /// Consecutive heartbeat misses per host.
+    hb_misses: BTreeMap<HostId, u32>,
+    /// Hosts the plane has declared down (inventory marked Disconnected).
+    declared_down: BTreeSet<HostId>,
+    /// Fault-plan host index -> hosts awaiting a HostRecover with that
+    /// index, in crash order. Restore events carry the plan index, not the
+    /// entity id, so the binding made at crash time must be remembered
+    /// (the index↔id mapping can shift if hosts are added mid-run).
+    crash_bindings: BTreeMap<usize, Vec<HostId>>,
+    /// Same binding for heartbeat-drop windows.
+    hb_bindings: BTreeMap<usize, Vec<HostId>>,
+    /// Same binding for datastore outages.
+    ds_bindings: BTreeMap<usize, Vec<DatastoreId>>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no active faults.
+    pub fn new(policy: RecoveryPolicy, timeout_prob: f64, rng: SimRng) -> Self {
+        FaultInjector {
+            policy,
+            timeout_prob,
+            rng,
+            down_hosts: BTreeSet::new(),
+            hb_dropped: BTreeSet::new(),
+            ds_down: BTreeSet::new(),
+            agent_slow: Vec::new(),
+            db_slow: Vec::new(),
+            hb_misses: BTreeMap::new(),
+            declared_down: BTreeSet::new(),
+            crash_bindings: BTreeMap::new(),
+            hb_bindings: BTreeMap::new(),
+            ds_bindings: BTreeMap::new(),
+        }
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    // ---- host crashes ----------------------------------------------------
+
+    /// Whether `host` is currently crashed.
+    pub fn host_down(&self, host: HostId) -> bool {
+        self.down_hosts.contains(&host)
+    }
+
+    /// Marks `host` crashed, remembering the plan index that targeted it.
+    pub fn mark_host_down(&mut self, idx: usize, host: HostId) {
+        self.down_hosts.insert(host);
+        self.crash_bindings.entry(idx).or_default().push(host);
+    }
+
+    /// Resolves a HostRecover carrying plan index `idx` to the host bound
+    /// at crash time, clearing its down flag.
+    pub fn recover_host(&mut self, idx: usize) -> Option<HostId> {
+        let host = pop_binding(&mut self.crash_bindings, idx)?;
+        self.down_hosts.remove(&host);
+        Some(host)
+    }
+
+    // ---- heartbeat drops -------------------------------------------------
+
+    /// Whether `host`'s heartbeats are currently dropped.
+    pub fn hb_dropped(&self, host: HostId) -> bool {
+        self.hb_dropped.contains(&host)
+    }
+
+    /// Starts a heartbeat-drop window on `host`.
+    pub fn mark_hb_dropped(&mut self, idx: usize, host: HostId) {
+        self.hb_dropped.insert(host);
+        self.hb_bindings.entry(idx).or_default().push(host);
+    }
+
+    /// Ends the heartbeat-drop window bound to plan index `idx`.
+    pub fn restore_hb(&mut self, idx: usize) -> Option<HostId> {
+        let host = pop_binding(&mut self.hb_bindings, idx)?;
+        self.hb_dropped.remove(&host);
+        Some(host)
+    }
+
+    // ---- datastore outages -----------------------------------------------
+
+    /// Whether `ds` is currently refusing new work.
+    pub fn ds_down(&self, ds: DatastoreId) -> bool {
+        self.ds_down.contains(&ds)
+    }
+
+    /// Starts an outage on `ds`.
+    pub fn mark_ds_down(&mut self, idx: usize, ds: DatastoreId) {
+        self.ds_down.insert(ds);
+        self.ds_bindings.entry(idx).or_default().push(ds);
+    }
+
+    /// Ends the outage bound to plan index `idx`.
+    pub fn restore_ds(&mut self, idx: usize) -> Option<DatastoreId> {
+        let ds = pop_binding(&mut self.ds_bindings, idx)?;
+        self.ds_down.remove(&ds);
+        Some(ds)
+    }
+
+    // ---- slowdown windows ------------------------------------------------
+
+    /// Opens an agent-slowdown window.
+    pub fn push_agent_slow(&mut self, factor: f64) {
+        self.agent_slow.push(factor);
+    }
+
+    /// Closes one agent-slowdown window with this factor.
+    pub fn pop_agent_slow(&mut self, factor: f64) {
+        if let Some(pos) = self.agent_slow.iter().position(|f| *f == factor) {
+            self.agent_slow.swap_remove(pos);
+        }
+    }
+
+    /// Effective agent service-time multiplier (1.0 when no window active).
+    pub fn agent_scale(&self) -> f64 {
+        self.agent_slow.iter().product()
+    }
+
+    /// Opens a DB-degradation window.
+    pub fn push_db_slow(&mut self, factor: f64) {
+        self.db_slow.push(factor);
+    }
+
+    /// Closes one DB-degradation window with this factor.
+    pub fn pop_db_slow(&mut self, factor: f64) {
+        if let Some(pos) = self.db_slow.iter().position(|f| *f == factor) {
+            self.db_slow.swap_remove(pos);
+        }
+    }
+
+    /// Effective DB service-time multiplier (1.0 when no window active).
+    pub fn db_scale(&self) -> f64 {
+        self.db_slow.iter().product()
+    }
+
+    // ---- heartbeat-miss detection ----------------------------------------
+
+    /// Records a missed heartbeat; returns the consecutive-miss count.
+    pub fn record_miss(&mut self, host: HostId) -> u32 {
+        let n = self.hb_misses.entry(host).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// A healthy heartbeat arrived: resets the miss counter.
+    pub fn reset_misses(&mut self, host: HostId) {
+        self.hb_misses.remove(&host);
+    }
+
+    /// Whether the plane has declared `host` down.
+    pub fn is_declared_down(&self, host: HostId) -> bool {
+        self.declared_down.contains(&host)
+    }
+
+    /// Records that the plane declared `host` down.
+    pub fn declare_down(&mut self, host: HostId) {
+        self.declared_down.insert(host);
+    }
+
+    /// Records that the plane reconnected `host`.
+    pub fn clear_declared(&mut self, host: HostId) {
+        self.declared_down.remove(&host);
+    }
+
+    // ---- randomness ------------------------------------------------------
+
+    /// Draws whether the next host-agent primitive hangs to the timeout.
+    pub fn draw_timeout(&mut self) -> bool {
+        self.timeout_prob > 0.0 && self.rng.gen::<f64>() < self.timeout_prob
+    }
+
+    /// The backoff before retry number `attempt` (policy + jitter draw).
+    pub fn backoff(&mut self, attempt: u32) -> SimDuration {
+        self.policy.backoff(attempt, &mut self.rng)
+    }
+}
+
+fn pop_binding<T: Copy>(bindings: &mut BTreeMap<usize, Vec<T>>, idx: usize) -> Option<T> {
+    let list = bindings.get_mut(&idx)?;
+    let first = if list.is_empty() {
+        None
+    } else {
+        Some(list.remove(0))
+    };
+    if list.is_empty() {
+        bindings.remove(&idx);
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_des::Streams;
+    use cpsim_inventory::EntityId;
+
+    fn injector(timeout_prob: f64) -> FaultInjector {
+        FaultInjector::new(
+            RecoveryPolicy::default(),
+            timeout_prob,
+            Streams::new(11).rng(Streams::FAULTS),
+        )
+    }
+
+    #[test]
+    fn crash_bindings_resolve_in_order() {
+        let mut inj = injector(0.0);
+        let h1 = HostId::from_parts(0, 1);
+        let h2 = HostId::from_parts(1, 1);
+        inj.mark_host_down(3, h1);
+        inj.mark_host_down(3, h2);
+        assert!(inj.host_down(h1) && inj.host_down(h2));
+        assert_eq!(inj.recover_host(3), Some(h1));
+        assert!(!inj.host_down(h1));
+        assert!(inj.host_down(h2));
+        assert_eq!(inj.recover_host(3), Some(h2));
+        assert_eq!(inj.recover_host(3), None);
+    }
+
+    #[test]
+    fn slowdown_windows_compose_as_products() {
+        let mut inj = injector(0.0);
+        assert_eq!(inj.agent_scale(), 1.0);
+        inj.push_agent_slow(2.0);
+        inj.push_agent_slow(3.0);
+        assert_eq!(inj.agent_scale(), 6.0);
+        inj.pop_agent_slow(2.0);
+        assert_eq!(inj.agent_scale(), 3.0);
+        inj.pop_agent_slow(3.0);
+        assert_eq!(inj.agent_scale(), 1.0);
+        // Popping a factor that is not active is a no-op.
+        inj.pop_agent_slow(9.0);
+        assert_eq!(inj.agent_scale(), 1.0);
+    }
+
+    #[test]
+    fn miss_counter_counts_and_resets() {
+        let mut inj = injector(0.0);
+        let h = HostId::from_parts(0, 1);
+        assert_eq!(inj.record_miss(h), 1);
+        assert_eq!(inj.record_miss(h), 2);
+        inj.reset_misses(h);
+        assert_eq!(inj.record_miss(h), 1);
+    }
+
+    #[test]
+    fn timeout_draws_respect_probability_bounds() {
+        let mut never = injector(0.0);
+        assert!((0..100).all(|_| !never.draw_timeout()));
+        let mut always = injector(1.0);
+        assert!((0..100).all(|_| always.draw_timeout()));
+    }
+}

@@ -14,6 +14,12 @@ pub struct KindStats {
     pub completed: u64,
     /// Failed tasks.
     pub failed: u64,
+    /// Phase retries across all tasks of this kind.
+    pub retries: u64,
+    /// Tasks that exhausted their retry budget.
+    pub aborted: u64,
+    /// Tasks whose partial state was rolled back on failure.
+    pub rolled_back: u64,
     /// End-to-end latency, seconds.
     pub latency: Histogram,
     /// Management CPU seconds per task.
@@ -38,6 +44,14 @@ pub struct MgmtStats {
     /// Sum of service seconds by (kind, class, label) — the data behind
     /// the per-phase cost-breakdown table.
     phase_totals: BTreeMap<(&'static str, &'static str, &'static str), (f64, u64)>,
+    // Fault-injection counters (all zero in fault-free runs).
+    retries: u64,
+    aborts: u64,
+    rollbacks: u64,
+    agent_timeouts: u64,
+    host_crashes: u64,
+    hosts_declared_down: u64,
+    resyncs: u64,
 }
 
 impl MgmtStats {
@@ -59,6 +73,9 @@ impl MgmtStats {
         } else {
             ks.failed += 1;
         }
+        ks.retries += u64::from(report.retries);
+        ks.aborted += u64::from(report.aborted);
+        ks.rolled_back += u64::from(report.rolled_back);
         ks.latency.record(report.latency.as_secs_f64());
         ks.cpu.record(report.cpu_secs);
         ks.db.record(report.db_secs);
@@ -74,6 +91,76 @@ impl MgmtStats {
             entry.0 += secs;
             entry.1 += 1;
         }
+    }
+
+    /// Notes one phase retry.
+    pub fn on_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Notes one task abort (retry budget exhausted).
+    pub fn on_abort(&mut self) {
+        self.aborts += 1;
+    }
+
+    /// Notes one partial-state rollback.
+    pub fn on_rollback(&mut self) {
+        self.rollbacks += 1;
+    }
+
+    /// Notes one injected host-agent hang that ran into the phase timeout.
+    pub fn on_agent_timeout(&mut self) {
+        self.agent_timeouts += 1;
+    }
+
+    /// Notes one host crash taking effect.
+    pub fn on_host_crash(&mut self) {
+        self.host_crashes += 1;
+    }
+
+    /// Notes a host declared down after consecutive heartbeat misses.
+    pub fn on_host_declared_down(&mut self) {
+        self.hosts_declared_down += 1;
+    }
+
+    /// Notes one inventory resync (host declared down or reconnected).
+    pub fn on_resync(&mut self) {
+        self.resyncs += 1;
+    }
+
+    /// Total phase retries.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Total task aborts (retry budget exhausted).
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Total partial-state rollbacks.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Total injected agent hangs that hit the phase timeout.
+    pub fn agent_timeouts(&self) -> u64 {
+        self.agent_timeouts
+    }
+
+    /// Total host crashes that took effect.
+    pub fn host_crashes(&self) -> u64 {
+        self.host_crashes
+    }
+
+    /// Total times a host was declared down via heartbeat misses.
+    pub fn hosts_declared_down(&self) -> u64 {
+        self.hosts_declared_down
+    }
+
+    /// Total inventory resyncs triggered by fault detection/recovery.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// Total submissions.
@@ -118,6 +205,9 @@ impl MgmtStats {
             let mine = self.by_kind.entry(kind).or_default();
             mine.completed += ks.completed;
             mine.failed += ks.failed;
+            mine.retries += ks.retries;
+            mine.aborted += ks.aborted;
+            mine.rolled_back += ks.rolled_back;
             mine.latency.merge(&ks.latency);
             mine.cpu.merge(&ks.cpu);
             mine.db.merge(&ks.db);
@@ -131,6 +221,13 @@ impl MgmtStats {
             entry.0 += s;
             entry.1 += n;
         }
+        self.retries += other.retries;
+        self.aborts += other.aborts;
+        self.rollbacks += other.rollbacks;
+        self.agent_timeouts += other.agent_timeouts;
+        self.host_crashes += other.host_crashes;
+        self.hosts_declared_down += other.hosts_declared_down;
+        self.resyncs += other.resyncs;
     }
 }
 
@@ -157,6 +254,9 @@ mod tests {
             target_vm: None,
             placement: None,
             error: None,
+            retries: 0,
+            aborted: false,
+            rolled_back: false,
             breakdown: vec![(PhaseClass::Cpu, "api-ingress", 0.1)],
         }
     }

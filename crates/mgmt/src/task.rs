@@ -57,6 +57,15 @@ pub struct Task {
     pub shadow_copy: bool,
     /// When the current data transfer started (for data-plane accounting).
     pub transfer_started: Option<SimTime>,
+    /// Times a failed phase has been retried (fault recovery).
+    pub retries: u32,
+    /// The in-flight host-agent primitive was injected to hang; its
+    /// completion at the phase timeout must be treated as a failure.
+    pub pending_timeout: bool,
+    /// The task exhausted its retry budget and gave up.
+    pub aborted: bool,
+    /// Partial state (VM record, scratch disk) was rolled back on failure.
+    pub rolled_back: bool,
     /// Seconds of management CPU consumed.
     pub cpu_secs: f64,
     /// Seconds of database service consumed.
@@ -88,6 +97,10 @@ impl Task {
             work_disk: None,
             shadow_copy: false,
             transfer_started: None,
+            retries: 0,
+            pending_timeout: false,
+            aborted: false,
+            rolled_back: false,
             cpu_secs: 0.0,
             db_secs: 0.0,
             agent_secs: 0.0,
@@ -152,6 +165,12 @@ pub struct TaskReport {
     pub placement: Option<(HostId, DatastoreId)>,
     /// Error message if the task failed.
     pub error: Option<String>,
+    /// Times a failed phase was retried before the task finished.
+    pub retries: u32,
+    /// The task failed by exhausting its retry budget.
+    pub aborted: bool,
+    /// Partial state was rolled back when the task failed.
+    pub rolled_back: bool,
     /// Per-(class, label) breakdown.
     pub breakdown: Vec<(PhaseClass, &'static str, f64)>,
 }
@@ -217,6 +236,9 @@ mod tests {
             target_vm: None,
             placement: None,
             error: None,
+            retries: 0,
+            aborted: false,
+            rolled_back: false,
             breakdown: Vec::new(),
         };
         assert!(r.is_success());

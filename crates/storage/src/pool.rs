@@ -80,10 +80,7 @@ impl StoragePool {
             (rec.disk.datastore, rec.disk.logical_gb)
         };
         self.reserve(inv, datastore, alloc_gb)?;
-        self.disks
-            .get_mut(parent)
-            .expect("checked above")
-            .children += 1;
+        self.disks.get_mut(parent).expect("checked above").children += 1;
         Ok(self.disks.insert(DiskRecord {
             disk: Disk {
                 logical_gb,

@@ -27,12 +27,7 @@ impl TemplateResidency {
     /// Records that `template`'s base content is resident on `datastore`,
     /// backed by `disk`. Returns the previously-registered disk if the
     /// location was already seeded.
-    pub fn seed(
-        &mut self,
-        template: VmId,
-        datastore: DatastoreId,
-        disk: DiskId,
-    ) -> Option<DiskId> {
+    pub fn seed(&mut self, template: VmId, datastore: DatastoreId, disk: DiskId) -> Option<DiskId> {
         self.by_template
             .entry(template)
             .or_default()

@@ -68,8 +68,7 @@ impl TraceAnalysis {
                 if r.kind == "destroy-vm" {
                     if let Some(vm) = r.target_vm {
                         if let Some(b) = born.remove(&vm) {
-                            let hours =
-                                (r.completed_us.saturating_sub(b)) as f64 / 3_600e6;
+                            let hours = (r.completed_us.saturating_sub(b)) as f64 / 3_600e6;
                             lifetimes.record(hours);
                         }
                     }
@@ -149,6 +148,7 @@ mod tests {
             queue_s: 0.0,
             admission_s: 0.0,
             success: true,
+            outcome: crate::trace::Outcome::Success,
             produced_vm: produced,
             target_vm: target,
         }

@@ -94,7 +94,7 @@ impl ArrivalProcess {
                     let gap = Dist::exponential(HOUR / max_rate)
                         .expect("positive mean")
                         .sample(rng);
-                    t = t + SimDuration::from_secs_f64(gap.max(1e-6));
+                    t += SimDuration::from_secs_f64(gap.max(1e-6));
                     let hour_of_day = (t.as_secs_f64() / HOUR) % 24.0;
                     let shape = 1.0
                         + amplitude
@@ -202,7 +202,10 @@ mod tests {
         let p = ArrivalProcess::Poisson { per_hour: 0.0 };
         let mut rng = Streams::new(1).rng(0);
         let mut state = ArrivalState::default();
-        assert_eq!(p.next_after(SimTime::ZERO, &mut state, &mut rng), SimTime::MAX);
+        assert_eq!(
+            p.next_after(SimTime::ZERO, &mut state, &mut rng),
+            SimTime::MAX
+        );
     }
 
     #[test]
@@ -215,7 +218,7 @@ mod tests {
         let mut rng = Streams::new(2).rng(0);
         let (_, bins) = count_in(&p, 24 * 30, &mut rng);
         // Fold into hour-of-day.
-        let mut by_hour = vec![0u64; 24];
+        let mut by_hour = [0u64; 24];
         for (i, b) in bins.iter().enumerate() {
             by_hour[i % 24] += b;
         }

@@ -41,7 +41,10 @@ impl RequestGenerator {
     /// Panics if the spec is invalid or `templates` is empty.
     pub fn new(spec: WorkloadSpec, streams: &Streams, org: OrgId, templates: Vec<VmId>) -> Self {
         spec.validate().expect("invalid WorkloadSpec");
-        assert!(!templates.is_empty(), "generator needs at least one template");
+        assert!(
+            !templates.is_empty(),
+            "generator needs at least one template"
+        );
         RequestGenerator {
             spec,
             arrival_state: ArrivalState::default(),
@@ -114,8 +117,8 @@ impl RequestGenerator {
     ) -> Option<GeneratedRequest> {
         match template {
             RequestTemplate::Instantiate => {
-                let count = (self.spec.vapp_size.sample(&mut self.rng_choice).round() as u32)
-                    .max(1);
+                let count =
+                    (self.spec.vapp_size.sample(&mut self.rng_choice).round() as u32).max(1);
                 let lease = self.spec.lifetime_hours.as_ref().map(|d| {
                     let hours = d.sample(&mut self.rng_choice).max(0.05);
                     SimDuration::from_secs_f64(hours * 3_600.0)
@@ -144,14 +147,13 @@ impl RequestGenerator {
                     (self.spec.recompose_add.sample(&mut self.rng_choice).round() as u32).max(1);
                 let catalog_template = self.templates[self.template_cursor % self.templates.len()];
                 self.template_cursor += 1;
-                self.pick_vapp(director, plane, |_, _| true)
-                    .map(|vapp| {
-                        GeneratedRequest::Cloud(CloudRequest::RecomposeVapp {
-                            vapp,
-                            add,
-                            template: catalog_template,
-                        })
+                self.pick_vapp(director, plane, |_, _| true).map(|vapp| {
+                    GeneratedRequest::Cloud(CloudRequest::RecomposeVapp {
+                        vapp,
+                        add,
+                        template: catalog_template,
                     })
+                })
             }
             RequestTemplate::SnapshotVm => self
                 .pick_vm(plane, |_| true)
@@ -212,11 +214,7 @@ impl RequestGenerator {
     }
 
     /// Picks a random non-template VM whose power state satisfies `pred`.
-    fn pick_vm(
-        &mut self,
-        plane: &ControlPlane,
-        pred: impl Fn(PowerState) -> bool,
-    ) -> Option<VmId> {
+    fn pick_vm(&mut self, plane: &ControlPlane, pred: impl Fn(PowerState) -> bool) -> Option<VmId> {
         let candidates: Vec<_> = plane
             .inventory()
             .vms()
@@ -304,7 +302,9 @@ mod tests {
             let mut generator =
                 RequestGenerator::new(spec(template), &Streams::new(1), org, vec![t]);
             assert!(
-                generator.generate(SimTime::ZERO, &director, &plane).is_none(),
+                generator
+                    .generate(SimTime::ZERO, &director, &plane)
+                    .is_none(),
                 "{template:?} should skip on an empty cloud"
             );
             assert_eq!(generator.skipped(), 1);

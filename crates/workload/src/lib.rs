@@ -33,4 +33,4 @@ pub use generate::{GeneratedRequest, RequestGenerator};
 pub use profiles::{cloud_a, cloud_b, enterprise, Profile, Topology};
 pub use replay::{ReplayEvent, ReplayPlan};
 pub use spec::{RequestTemplate, WorkloadSpec};
-pub use trace::{TraceLog, TraceRecord};
+pub use trace::{Outcome, TraceLog, TraceRecord};

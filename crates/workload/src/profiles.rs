@@ -200,7 +200,9 @@ mod tests {
     #[test]
     fn all_profiles_validate() {
         for p in [cloud_a(), cloud_b(), enterprise()] {
-            p.workload.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            p.workload
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(p.topology.hosts > 0);
             assert!(!p.topology.templates.is_empty());
         }
@@ -225,7 +227,14 @@ mod tests {
     #[test]
     fn cloud_a_is_burstier_than_cloud_b() {
         match (cloud_a().workload.arrivals, cloud_b().workload.arrivals) {
-            (ArrivalProcess::Mmpp { burst_per_hour, calm_per_hour, .. }, ArrivalProcess::Diurnal { .. }) => {
+            (
+                ArrivalProcess::Mmpp {
+                    burst_per_hour,
+                    calm_per_hour,
+                    ..
+                },
+                ArrivalProcess::Diurnal { .. },
+            ) => {
                 assert!(burst_per_hour / calm_per_hour >= 10.0);
             }
             _ => panic!("profile arrival shapes changed"),

@@ -142,6 +142,13 @@ mod tests {
             queue_s: 0.0,
             admission_s: 0.0,
             success: ok,
+            outcome: if ok {
+                crate::trace::Outcome::Success
+            } else {
+                crate::trace::Outcome::Failed {
+                    reason: "injected".into(),
+                }
+            },
             produced_vm: Some(VmId::from_parts(vm_idx, 1)),
             target_vm: None,
         }

@@ -8,6 +8,44 @@ use cpsim_inventory::VmId;
 use cpsim_mgmt::TaskReport;
 use serde::{Deserialize, Serialize};
 
+/// How an operation ended.
+///
+/// Old traces predate this field; `#[serde(default)]` makes them replay
+/// as [`Outcome::Success`], matching what they could record at the time.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Completed cleanly.
+    #[default]
+    Success,
+    /// Ended with an error.
+    Failed {
+        /// The terminal error message.
+        reason: String,
+    },
+    /// Exhausted its retry budget and was abandoned by the plane.
+    Aborted,
+}
+
+impl Outcome {
+    /// Builds the outcome a task report describes.
+    pub fn from_task(report: &TaskReport) -> Self {
+        if report.aborted {
+            Outcome::Aborted
+        } else if let Some(reason) = &report.error {
+            Outcome::Failed {
+                reason: reason.clone(),
+            }
+        } else {
+            Outcome::Success
+        }
+    }
+
+    /// Whether this is [`Outcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success)
+    }
+}
+
 /// One completed management operation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecord {
@@ -33,6 +71,9 @@ pub struct TraceRecord {
     pub admission_s: f64,
     /// Whether the operation succeeded.
     pub success: bool,
+    /// How the operation ended (absent in old traces ⇒ `Success`).
+    #[serde(default)]
+    pub outcome: Outcome,
     /// VM produced (provisioning).
     pub produced_vm: Option<VmId>,
     /// VM targeted.
@@ -54,6 +95,7 @@ impl TraceRecord {
             queue_s: report.queue_secs,
             admission_s: report.admission_secs,
             success: report.is_success(),
+            outcome: Outcome::from_task(report),
             produced_vm: report.produced_vm,
             target_vm: report.target_vm,
         }
@@ -170,6 +212,7 @@ mod tests {
             queue_s: 0.0,
             admission_s: 0.0,
             success: true,
+            outcome: Outcome::Success,
             produced_vm: None,
             target_vm: None,
         }
@@ -180,11 +223,33 @@ mod tests {
         let mut log = TraceLog::new();
         log.push(record("clone-linked", 0));
         log.push(record("power-on", 10));
+        let mut failed = record("clone-full", 20);
+        failed.success = false;
+        failed.outcome = Outcome::Failed {
+            reason: "datastore 3 unavailable".into(),
+        };
+        log.push(failed);
+        let mut aborted = record("relocate-vm", 30);
+        aborted.success = false;
+        aborted.outcome = Outcome::Aborted;
+        log.push(aborted);
         let mut buf = Vec::new();
         log.write_jsonl(&mut buf).unwrap();
-        assert_eq!(buf.iter().filter(|b| **b == b'\n').count(), 2);
+        assert_eq!(buf.iter().filter(|b| **b == b'\n').count(), 4);
         let back = TraceLog::read_jsonl(&buf[..]).unwrap();
         assert_eq!(log, back);
+    }
+
+    #[test]
+    fn old_jsonl_without_outcome_still_replays() {
+        // A line as written before the outcome field existed.
+        let line = serde_json::to_string(&record("clone-linked", 0))
+            .unwrap()
+            .replace("\"outcome\":\"Success\",", "");
+        assert!(!line.contains("outcome"));
+        let log = TraceLog::read_jsonl(line.as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].outcome, Outcome::Success);
     }
 
     #[test]

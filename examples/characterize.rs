@@ -46,9 +46,8 @@ fn main() {
         sim.trace().len(),
         path.display()
     );
-    let reloaded =
-        TraceLog::read_jsonl(BufReader::new(std::fs::File::open(&path).expect("open")))
-            .expect("parse trace");
+    let reloaded = TraceLog::read_jsonl(BufReader::new(std::fs::File::open(&path).expect("open")))
+        .expect("parse trace");
     assert_eq!(reloaded.len(), sim.trace().len());
     let a = TraceAnalysis::from_log(&reloaded);
 
@@ -57,11 +56,7 @@ fn main() {
         &["operation", "count", "share", "mean latency s", "failures"],
     );
     for (kind, count) in &a.op_mix {
-        let mean = a
-            .latency_by_kind
-            .get(kind)
-            .map(|s| s.mean())
-            .unwrap_or(0.0);
+        let mean = a.latency_by_kind.get(kind).map(|s| s.mean()).unwrap_or(0.0);
         mix.row([
             kind.clone(),
             count.to_string(),
@@ -75,7 +70,10 @@ fn main() {
     let mut summary = Table::new("Characterization summary", &["metric", "value"]);
     summary
         .row(["operations/day", &format!("{:.0}", a.ops_per_day())])
-        .row(["burstiness (hourly peak/mean)", &format!("{:.1}", a.peak_to_mean)])
+        .row([
+            "burstiness (hourly peak/mean)",
+            &format!("{:.1}", a.peak_to_mean),
+        ])
         .row(["interarrival CV", &format!("{:.2}", a.interarrival_cv)])
         .row([
             "provisioning share",

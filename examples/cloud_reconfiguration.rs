@@ -39,6 +39,7 @@ fn expand(seed_templates: bool) -> (f64, u32, CloudSim) {
             mode: CloneMode::Linked,
             fencing: true,
             power_on: false,
+            ..Default::default()
         })
         .build();
     sim.keep_task_reports(true);
@@ -113,13 +114,12 @@ fn main() {
             "mean latency s",
         ],
     );
-    for (label, seed) in [("lazy (shadow on first use)", false), ("proactive seeding", true)] {
+    for (label, seed) in [
+        ("lazy (shadow on first use)", false),
+        ("proactive seeding", true),
+    ] {
         let (mean, count, _sim) = expand(seed);
-        table.row([
-            label.to_string(),
-            count.to_string(),
-            format!("{mean:.1}"),
-        ]);
+        table.row([label.to_string(), count.to_string(), format!("{mean:.1}")]);
     }
     println!("{table}");
     println!(

@@ -36,6 +36,7 @@ fn storm(mode: CloneMode) -> (Summary, CloudSim) {
             mode,
             fencing: true,
             power_on: true,
+            ..Default::default()
         })
         .build();
     let org = sim.org();

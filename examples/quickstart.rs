@@ -23,15 +23,15 @@ fn main() {
     let analysis = sim.analyze_trace();
     let stats = sim.director().stats();
 
-    let mut summary = Table::new(
-        "Six hours of Cloud A",
-        &["metric", "value"],
-    );
+    let mut summary = Table::new("Six hours of Cloud A", &["metric", "value"]);
     summary
         .row(["management operations", &analysis.total_ops.to_string()])
         .row(["cloud requests completed", &stats.completed().to_string()])
         .row(["VMs provisioned", &stats.vms_provisioned().to_string()])
-        .row(["VMs destroyed (lease churn)", &stats.vms_destroyed().to_string()])
+        .row([
+            "VMs destroyed (lease churn)",
+            &stats.vms_destroyed().to_string(),
+        ])
         .row([
             "provisioning share of ops",
             &format!("{:.0}%", analysis.provisioning_fraction() * 100.0),
@@ -40,10 +40,7 @@ fn main() {
             "arrival burstiness (peak/mean)",
             &format!("{:.1}", analysis.peak_to_mean),
         ])
-        .row([
-            "events simulated",
-            &sim.events_processed().to_string(),
-        ]);
+        .row(["events simulated", &sim.events_processed().to_string()]);
     println!("\n{summary}");
 
     let mut mix = Table::new("Operation mix", &["operation", "count", "share"]);

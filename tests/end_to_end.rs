@@ -5,7 +5,7 @@
 use cpsim::cloud::{CloudRequest, ProvisioningPolicy};
 use cpsim::des::{SimDuration, SimTime};
 use cpsim::mgmt::CloneMode;
-use cpsim::workload::{cloud_a, TraceLog, Topology};
+use cpsim::workload::{cloud_a, Topology, TraceLog};
 use cpsim::{CloudSim, Scenario};
 
 fn small_topology() -> Topology {
@@ -30,6 +30,7 @@ fn burst(mode: CloneMode, count: u32) -> CloudSim {
             mode,
             fencing: true,
             power_on: false,
+            ..Default::default()
         })
         .build();
     let org = sim.org();

@@ -1,0 +1,188 @@
+//! Fault-injection integration properties: bit-identical determinism
+//! under identical seeds and plans, transparency of the empty plan, and
+//! capacity conservation through the retry/abort/rollback paths.
+
+use cpsim::cloud::{CloudRequest, FailurePolicy, ProvisioningPolicy};
+use cpsim::des::{SimDuration, SimTime};
+use cpsim::faults::{FaultKind, FaultPlan};
+use cpsim::mgmt::CloneMode;
+use cpsim::workload::Topology;
+use cpsim::{CloudSim, Scenario};
+use proptest::prelude::*;
+
+fn fault_topology() -> Topology {
+    Topology {
+        hosts: 6,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 262_144,
+        datastores: 4,
+        ds_capacity_gb: 4_096.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("t".into(), 1, 1_024, 8.0)],
+        seed_templates_everywhere: true,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+fn retry_policy() -> ProvisioningPolicy {
+    ProvisioningPolicy {
+        mode: CloneMode::Linked,
+        fencing: true,
+        power_on: false,
+        on_failure: FailurePolicy::Retry { max_attempts: 3 },
+    }
+}
+
+/// Builds a sim, offers one single-VM instantiate every 25 s for
+/// `horizon`, and drains for hours past the end so every retry ladder,
+/// abort, and recovery completes.
+fn drive(seed: u64, plan: Option<FaultPlan>, horizon: SimDuration) -> CloudSim {
+    let mut scenario = Scenario::bare(fault_topology())
+        .seed(seed)
+        .policy(retry_policy());
+    if let Some(plan) = plan {
+        scenario = scenario.with_fault_plan(plan);
+    }
+    let mut sim = scenario.build();
+    let org = sim.org();
+    let template = sim.templates()[0];
+    let mut t = SimTime::from_secs(1);
+    let end = SimTime::ZERO + horizon;
+    while t < end {
+        sim.schedule_request(
+            t,
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(CloneMode::Linked),
+                lease: None,
+            },
+        );
+        t += SimDuration::from_secs(25);
+    }
+    sim.run_until(end + SimDuration::from_hours(6));
+    sim
+}
+
+/// Everything a run observably produced, bit-exact: the full operation
+/// trace plus counters and the resource-clock utilizations.
+fn fingerprint(sim: &CloudSim) -> (Vec<String>, Vec<u64>, Vec<u64>) {
+    let mut trace = Vec::new();
+    for r in sim.trace().records() {
+        trace.push(format!("{r:?}"));
+    }
+    let s = sim.plane().stats();
+    let counters = vec![
+        s.submitted(),
+        s.completed(),
+        s.failed(),
+        s.retries(),
+        s.aborts(),
+        s.rollbacks(),
+        s.agent_timeouts(),
+        s.host_crashes(),
+        s.hosts_declared_down(),
+        s.resyncs(),
+    ];
+    let now = sim.now();
+    let utils = vec![
+        sim.plane().cpu_utilization(now).to_bits(),
+        sim.plane().db_utilization(now).to_bits(),
+        sim.plane().mean_agent_utilization(now).to_bits(),
+    ];
+    (trace, counters, utils)
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_no_plan() {
+    let horizon = SimDuration::from_mins(25);
+    let baseline = drive(7, None, horizon);
+    let with_empty = drive(7, Some(FaultPlan::empty()), horizon);
+    assert!(!baseline.trace().is_empty());
+    assert_eq!(baseline.trace(), with_empty.trace());
+    assert_eq!(fingerprint(&baseline), fingerprint(&with_empty));
+    assert_eq!(baseline.plane().stats().retries(), 0);
+}
+
+#[test]
+fn capacity_never_leaks_under_fault_storm() {
+    let horizon = SimDuration::from_mins(45);
+    let plan = FaultPlan::host_crashes(24.0, SimDuration::from_mins(3), horizon)
+        .with_agent_timeout_prob(0.08)
+        .with_event(
+            SimTime::from_secs(600),
+            FaultKind::DatastoreOutage {
+                ds: 0,
+                duration: SimDuration::from_mins(4),
+            },
+        )
+        .with_event(
+            SimTime::from_secs(1_200),
+            FaultKind::HeartbeatDrops {
+                host: 2,
+                duration: SimDuration::from_mins(2),
+            },
+        );
+    let sim = drive(11, Some(plan), horizon);
+
+    // The storm actually exercised the recovery machinery.
+    let stats = sim.plane().stats();
+    assert!(stats.host_crashes() > 0, "no crashes injected");
+    assert!(stats.retries() > 0, "no phase retries happened");
+
+    // Every admission slot, per-VM lock, and task slot came back.
+    assert_eq!(sim.plane().tasks_in_flight(), 0, "tasks leaked");
+    let ac = sim.plane().admission();
+    assert_eq!(ac.in_flight(), 0, "global slots leaked");
+    assert_eq!(ac.pending_len(), 0, "tasks parked forever");
+    assert_eq!(ac.vm_locks_held(), 0, "vm locks leaked");
+
+    // Inventory and storage survived the rollbacks consistently.
+    let inv = sim.plane().inventory();
+    assert!(
+        inv.check_invariants().is_ok(),
+        "{:?}",
+        inv.check_invariants()
+    );
+    assert!(
+        sim.plane().storage().check_invariants(inv).is_ok(),
+        "{:?}",
+        sim.plane().storage().check_invariants(inv)
+    );
+    for (ds_id, ds) in inv.datastores() {
+        let pool_sum = sim.plane().storage().allocated_on(ds_id);
+        assert!(
+            (pool_sum - ds.used_gb).abs() < 1e-6,
+            "datastore {ds_id:?} space leaked: pool {pool_sum} vs inventory {}",
+            ds.used_gb
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case is two full multi-hour simulations
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn same_seed_and_plan_reproduce_bit_identical_runs(
+        seed in 0u64..1_000,
+        crash_rate in 2u32..30,
+        timeout_pct in 0u32..10,
+    ) {
+        let horizon = SimDuration::from_mins(30);
+        let plan = FaultPlan::host_crashes(
+            f64::from(crash_rate),
+            SimDuration::from_mins(3),
+            horizon,
+        )
+        .with_agent_timeout_prob(f64::from(timeout_pct) / 100.0);
+        let a = drive(seed, Some(plan.clone()), horizon);
+        let b = drive(seed, Some(plan), horizon);
+        prop_assert!(!a.trace().is_empty());
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

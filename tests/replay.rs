@@ -29,6 +29,7 @@ fn fresh() -> CloudSim {
             mode: CloneMode::Linked,
             fencing: false,
             power_on: false,
+            ..Default::default()
         })
         .build()
 }

@@ -26,7 +26,11 @@ fn tiny_topology() -> Topology {
 /// A randomized request schedule.
 #[derive(Clone, Debug)]
 enum Step {
-    Instantiate { count: u32, lease_mins: Option<u16>, full: bool },
+    Instantiate {
+        count: u32,
+        lease_mins: Option<u16>,
+        full: bool,
+    },
     DeleteOldest,
     StopOldest,
     StartOldest,
@@ -34,12 +38,13 @@ enum Step {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (1u32..5, proptest::option::of(5u16..120), any::<bool>())
-            .prop_map(|(count, lease_mins, full)| Step::Instantiate {
+        (1u32..5, proptest::option::of(5u16..120), any::<bool>()).prop_map(
+            |(count, lease_mins, full)| Step::Instantiate {
                 count,
                 lease_mins,
                 full
-            }),
+            }
+        ),
         Just(Step::DeleteOldest),
         Just(Step::StopOldest),
         Just(Step::StartOldest),
@@ -63,6 +68,7 @@ proptest! {
                 mode: CloneMode::Linked,
                 fencing: true,
                 power_on: true,
+                ..Default::default()
             })
             .build();
         let org = sim.org();
