@@ -1,0 +1,104 @@
+//! Microbenchmarks of the four-ary event queue: raw schedule/pop
+//! throughput, the fused `pop_if_before` horizon drain used by
+//! `Simulation::run_until`, and keyed cancellation with tombstone
+//! compaction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpsim_des::{EventQueue, SimTime};
+
+/// Pseudo-random but deterministic schedule times that stress the heap
+/// (no pre-sorted or reverse-sorted luck).
+fn scatter(i: u64) -> SimTime {
+    SimTime::from_micros((i.wrapping_mul(2_654_435_761)) % 1_000_000)
+}
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    for &n in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("schedule-pop-{n}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(scatter(i), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pop_if_before(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    // The run_until pattern: drain in horizon slices with the fused
+    // peek+pop, re-scheduling a fraction (events beget events).
+    g.bench_function("pop-if-before-sliced-drain", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(scatter(i), i);
+            }
+            let mut processed = 0u64;
+            let mut horizon_us = 0u64;
+            while !q.is_empty() {
+                horizon_us += 50_000;
+                let horizon = SimTime::from_micros(horizon_us);
+                while let Some((t, e)) = q.pop_if_before(horizon) {
+                    processed += 1;
+                    // Every 16th event schedules a short follow-up, as
+                    // management ops do.
+                    if e % 16 == 0 && processed < 2 * n {
+                        q.schedule(t + cpsim_des::SimDuration::from_micros(100), e + 1);
+                    }
+                }
+            }
+            black_box(processed)
+        });
+    });
+    g.finish();
+}
+
+fn bench_keyed_cancel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    // Timeout-guard churn: most keyed timers are cancelled before they
+    // fire, so tombstones pile up and the queue must compact.
+    g.bench_function("keyed-cancel-90pct-compaction", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let keys: Vec<_> = (0..n).map(|i| q.schedule_keyed(scatter(i), i)).collect();
+            let mut cancelled = 0u64;
+            for (i, key) in keys.into_iter().enumerate() {
+                if i % 10 != 0 {
+                    assert!(q.cancel(key));
+                    cancelled += 1;
+                }
+            }
+            let mut fired = 0u64;
+            while q.pop().is_some() {
+                fired += 1;
+            }
+            assert_eq!(cancelled + fired, n);
+            black_box((q.live_len(), fired))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_pop,
+    bench_pop_if_before,
+    bench_keyed_cancel
+);
+criterion_main!(benches);

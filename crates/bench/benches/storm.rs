@@ -1,0 +1,90 @@
+//! End-to-end provisioning-storm throughput: a burst of single-VM
+//! instantiate requests hitting the control plane at once, run to
+//! completion. This is the workload the DES hot path exists for —
+//! the measured figure is simulator events per second of wall time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpsim::cloud::{CloudRequest, ProvisioningPolicy};
+use cpsim::Scenario;
+use cpsim_des::{SimDuration, SimTime};
+use cpsim_mgmt::CloneMode;
+use cpsim_workload::Topology;
+
+fn storm_topology() -> Topology {
+    Topology {
+        hosts: 16,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 524_288,
+        datastores: 8,
+        ds_capacity_gb: 16_384.0,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("storm-template".into(), 2, 2_048, 20.0)],
+        seed_templates_everywhere: true,
+        initial_vapps: 0,
+        initial_vapp_size: 0,
+    }
+}
+
+/// Submits `n` instantiates in the first second and runs until the
+/// backlog drains; returns simulation events processed.
+fn run_storm(n: u32) -> u64 {
+    let mut sim = Scenario::bare(storm_topology())
+        .seed(42)
+        .policy(ProvisioningPolicy {
+            mode: CloneMode::Linked,
+            fencing: true,
+            power_on: false,
+            ..Default::default()
+        })
+        .build();
+    let template = sim.templates()[0];
+    let org = sim.org();
+    for i in 0..n {
+        sim.schedule_request(
+            SimTime::from_micros(u64::from(i) + 1),
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(CloneMode::Linked),
+                lease: None,
+            },
+        );
+    }
+    // Generous horizon; the storm drains long before it.
+    let slice = SimDuration::from_secs(60);
+    let mut done = 0usize;
+    while done < n as usize {
+        sim.run_for(slice);
+        done = sim
+            .cloud_reports()
+            .iter()
+            .filter(|r| r.kind == "instantiate-vapp")
+            .count();
+        assert!(
+            sim.now() < SimTime::from_hours(48),
+            "storm failed to drain: {done}/{n}"
+        );
+    }
+    sim.events_processed()
+}
+
+fn bench_provisioning_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storm");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for &n in &[64u32, 256] {
+        g.throughput(Throughput::Elements(u64::from(n)));
+        g.bench_function(format!("linked-clone-{n}"), |b| {
+            b.iter(|| black_box(run_storm(n)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_provisioning_storm);
+criterion_main!(benches);

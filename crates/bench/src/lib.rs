@@ -7,6 +7,9 @@ use std::path::PathBuf;
 use cpsim::experiments::{all, ExpOptions, Experiment};
 use cpsim_metrics::Table;
 
+/// Default location of the benchmark summary written by `repro`.
+pub const BENCH_DEFAULT_PATH: &str = "results/BENCH_suite.json";
+
 /// Parsed command line of the `repro` binary.
 #[derive(Debug, Default)]
 pub struct Cli {
@@ -16,8 +19,16 @@ pub struct Cli {
     pub quick: bool,
     /// Master seed.
     pub seed: Option<u64>,
+    /// Worker threads per sweep (`None` = one per core; `1` = sequential).
+    pub jobs: Option<usize>,
     /// Directory to write CSV copies into.
     pub csv_dir: Option<PathBuf>,
+    /// Where to write the timing summary; `None` disables it.
+    ///
+    /// `parse` defaults this to [`BENCH_DEFAULT_PATH`] so the binary
+    /// always records timings; `Cli::default()` leaves it off so library
+    /// callers (tests) don't touch the filesystem.
+    pub bench_path: Option<PathBuf>,
     /// Print help and exit.
     pub help: bool,
     /// `list` subcommand: print the experiment catalog and exit.
@@ -31,7 +42,10 @@ impl Cli {
     ///
     /// Returns a message for unknown flags or malformed values.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
-        let mut cli = Cli::default();
+        let mut cli = Cli {
+            bench_path: Some(PathBuf::from(BENCH_DEFAULT_PATH)),
+            ..Cli::default()
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -42,10 +56,23 @@ impl Cli {
                     let v = it.next().ok_or("--seed needs a value")?;
                     cli.seed = Some(v.parse().map_err(|_| format!("bad seed: {v}"))?);
                 }
+                "--jobs" | "-j" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be >= 1 (omit the flag for one per core)".into());
+                    }
+                    cli.jobs = Some(n);
+                }
                 "--csv" => {
                     let v = it.next().ok_or("--csv needs a directory")?;
                     cli.csv_dir = Some(PathBuf::from(v));
                 }
+                "--bench" => {
+                    let v = it.next().ok_or("--bench needs a file path")?;
+                    cli.bench_path = Some(PathBuf::from(v));
+                }
+                "--no-bench" => cli.bench_path = None,
                 s if s.starts_with('-') => return Err(format!("unknown flag: {s}")),
                 id => cli.ids.push(id.to_string()),
             }
@@ -62,6 +89,9 @@ impl Cli {
         };
         if let Some(seed) = self.seed {
             opts.seed = seed;
+        }
+        if let Some(jobs) = self.jobs {
+            opts.jobs = jobs;
         }
         opts
     }
@@ -95,37 +125,86 @@ impl Cli {
 pub fn usage() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
-         USAGE: repro [IDS...] [--quick] [--seed N] [--csv DIR]\n\
+         USAGE: repro [IDS...] [--quick] [--seed N] [--jobs N] [--csv DIR]\n\
+         \x20              [--bench FILE | --no-bench]\n\
          \x20      repro list\n\n\
+         --jobs N   worker threads per sweep (default: one per core;\n\
+         \x20          1 = sequential; tables are identical either way)\n\
+         --bench F  write the timing summary to F (default: {BENCH_DEFAULT_PATH})\n\n\
          Experiments (default: all):\n{}\n",
         listing()
     )
 }
 
-/// One line per experiment: id and title, in paper order.
+/// One line per experiment: id, title and sweep width, in paper order.
 pub fn listing() -> String {
     all()
         .iter()
-        .map(|e| format!("  {:4} {}", e.id, e.title))
+        .map(|e| {
+            format!(
+                "  {:4} {}  [{} quick / {} full sweep points]",
+                e.id, e.title, e.sweep_quick, e.sweep_full
+            )
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }
 
-/// Runs the selected experiments, printing tables and optionally saving
-/// CSVs.
+/// One experiment's timing record, as written to `BENCH_suite.json`.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Experiment id (`"t1"`, `"f4"`, ...).
+    pub id: &'static str,
+    /// Wall-clock for the whole experiment, milliseconds.
+    pub wall_ms: f64,
+    /// Simulation events processed by all its sweep points.
+    pub events: u64,
+    /// `events / wall`, the suite's primary throughput figure.
+    pub events_per_sec: f64,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+}
+
+/// Renders the timing records as the `BENCH_suite.json` document:
+/// `{ "<id>": {"wall_ms": .., "events": .., "events_per_sec": .., "jobs": ..}, .. }`
+/// in experiment (paper) order.
+pub fn bench_json(records: &[BenchRecord]) -> String {
+    let mut s = String::from("{\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"jobs\": {}}}{}\n",
+            r.id,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec,
+            r.jobs,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Runs the selected experiments, printing tables and per-experiment
+/// timings, optionally saving CSVs and the timing summary.
 ///
 /// # Errors
 ///
-/// Propagates CSV I/O failures.
+/// Propagates CSV and bench-file I/O failures.
 pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
     let opts = cli.options();
+    let jobs = opts.effective_jobs();
     if let Some(dir) = &cli.csv_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
+    let mut records: Vec<BenchRecord> = Vec::new();
     for exp in cli.select()? {
         writeln!(out, "==> [{}] {}", exp.id, exp.title).map_err(|e| e.to_string())?;
+        let events_before = cpsim_des::global_events_processed();
         let started = std::time::Instant::now();
         let tables: Vec<Table> = (exp.run)(&opts);
+        let wall = started.elapsed();
+        let events = cpsim_des::global_events_processed() - events_before;
         for (i, table) in tables.iter().enumerate() {
             writeln!(out, "\n{table}").map_err(|e| e.to_string())?;
             if let Some(dir) = &cli.csv_dir {
@@ -136,8 +215,35 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
             }
         }
-        writeln!(out, "    ({:.1}s wall)", started.elapsed().as_secs_f64())
-            .map_err(|e| e.to_string())?;
+        let secs = wall.as_secs_f64();
+        let events_per_sec = if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "    ({secs:.1}s wall, {events} events, {events_per_sec:.0} events/s, jobs={jobs})"
+        )
+        .map_err(|e| e.to_string())?;
+        records.push(BenchRecord {
+            id: exp.id,
+            wall_ms: secs * 1000.0,
+            events,
+            events_per_sec,
+            jobs,
+        });
+    }
+    if let Some(path) = &cli.bench_path {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, bench_json(&records))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        writeln!(out, "bench: wrote {}", path.display()).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -166,6 +272,95 @@ mod tests {
     }
 
     #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        let cli = Cli::parse(["--jobs", "4"].map(String::from)).unwrap();
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.options().jobs, 4);
+        assert_eq!(cli.options().effective_jobs(), 4);
+        // Default: auto (one worker per core).
+        let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
+        assert_eq!(cli.jobs, None);
+        assert_eq!(cli.options().jobs, 0);
+        assert!(cli.options().effective_jobs() >= 1);
+        // 0 and garbage are rejected.
+        assert!(Cli::parse(["--jobs", "0"].map(String::from)).is_err());
+        assert!(Cli::parse(["--jobs", "many"].map(String::from)).is_err());
+        assert!(Cli::parse(["--jobs".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bench_flags_control_summary_path() {
+        // The binary writes the summary by default...
+        let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
+        assert_eq!(
+            cli.bench_path.as_deref(),
+            Some(std::path::Path::new(BENCH_DEFAULT_PATH))
+        );
+        // ...to an overridable location...
+        let cli = Cli::parse(["--bench", "/tmp/b.json"].map(String::from)).unwrap();
+        assert_eq!(
+            cli.bench_path.as_deref(),
+            Some(std::path::Path::new("/tmp/b.json"))
+        );
+        // ...unless disabled. Library callers default to off.
+        let cli = Cli::parse(["--no-bench".to_string()]).unwrap();
+        assert!(cli.bench_path.is_none());
+        assert!(Cli::default().bench_path.is_none());
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_and_ordered() {
+        let records = vec![
+            BenchRecord {
+                id: "t1",
+                wall_ms: 12.5,
+                events: 1000,
+                events_per_sec: 80000.0,
+                jobs: 2,
+            },
+            BenchRecord {
+                id: "f4",
+                wall_ms: 250.0,
+                events: 50000,
+                events_per_sec: 200000.0,
+                jobs: 2,
+            },
+        ];
+        let json = bench_json(&records);
+        let t1 = json.find("\"t1\"").unwrap();
+        let f4 = json.find("\"f4\"").unwrap();
+        assert!(t1 < f4, "paper order preserved");
+        for key in ["wall_ms", "events", "events_per_sec", "jobs"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // Exactly one trailing comma between the two objects, none after
+        // the last — i.e. parseable JSON.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn run_writes_bench_summary() {
+        let dir = std::env::temp_dir().join(format!("cpsim_bench_{}", std::process::id()));
+        let path = dir.join("BENCH_suite.json");
+        let cli = Cli {
+            ids: vec!["t2".to_string()],
+            quick: true,
+            jobs: Some(1),
+            bench_path: Some(path.clone()),
+            ..Cli::default()
+        };
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("events/s"), "timing line printed: {text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"t2\""));
+        assert!(json.contains("\"jobs\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn select_all_by_default() {
         let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
         assert_eq!(cli.select().unwrap().len(), 15);
@@ -178,6 +373,14 @@ mod tests {
         let l = listing();
         for e in cpsim::experiments::all() {
             assert!(l.contains(e.id) && l.contains(e.title));
+            assert!(
+                l.contains(&format!(
+                    "[{} quick / {} full sweep points]",
+                    e.sweep_quick, e.sweep_full
+                )),
+                "{} sweep sizes missing from listing",
+                e.id
+            );
         }
     }
 

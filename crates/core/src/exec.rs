@@ -1,0 +1,131 @@
+//! Parallel sweep execution.
+//!
+//! Every sweep point of an experiment — one (clone-mode × arrival-rate ×
+//! replication) cell — is an independent [`Simulation`](cpsim_des::Simulation)
+//! with its own seed substream, so sweeps are embarrassingly parallel. This
+//! module provides the small job-runner the experiments submit points to: a
+//! work-stealing pool built on `std::thread::scope` (no external
+//! dependencies; the workspace builds offline).
+//!
+//! # Determinism
+//!
+//! Parallelism must never change results, only wall-clock. Two properties
+//! guarantee byte-identical output tables at any job count:
+//!
+//! 1. each sweep point derives all randomness from its own point inputs
+//!    (seed, parameters) — nothing is shared between points; and
+//! 2. results are written into a slot vector indexed by the point's
+//!    position and returned **in submission order**, regardless of which
+//!    worker finished first.
+//!
+//! The scheduling itself (an atomic next-point counter, i.e. work
+//! stealing at point granularity) only decides *who* runs a point, never
+//! *what* the point computes. This is asserted end-to-end by the
+//! `jobs_determinism` integration test.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use when the caller asks for "all cores".
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `points` on up to `jobs` worker threads, returning the
+/// results in point order.
+///
+/// `jobs <= 1` (or fewer than two points) degenerates to a plain
+/// sequential loop on the calling thread — byte-for-byte the pre-executor
+/// behavior, with no threads spawned. Larger sweeps are distributed by
+/// work stealing: each worker repeatedly claims the next unclaimed point,
+/// so a slow point (e.g. a saturated full-clone run) never stalls the
+/// points behind it.
+///
+/// # Panics
+///
+/// Panics propagate: if any point's closure panics, the panic is
+/// re-raised on the calling thread once the scope joins.
+pub fn parallel_map<P, R, F>(jobs: usize, points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let workers = jobs.min(points.len());
+    if workers <= 1 {
+        return points.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let r = f(point);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| unreachable!("point {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_point_order() {
+        let points: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = parallel_map(jobs, &points, |&p| p * p);
+            assert_eq!(out, points.iter().map(|p| p * p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_stolen_not_blocked() {
+        // Front-loaded heavy points: a static split would serialize them
+        // on one worker; stealing spreads them. Only correctness is
+        // asserted here (timing is covered by the benches).
+        let points: Vec<u64> = (0..40).map(|i| if i < 4 { 200_000 } else { 10 }).collect();
+        let out = parallel_map(4, &points, |&n| (0..n).sum::<u64>());
+        let expected: Vec<u64> = points.iter().map(|&n| (0..n).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single_point_sweeps() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &empty, |&p| p).is_empty());
+        assert_eq!(parallel_map(8, &[7u32], |&p| p + 1), vec![8]);
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(2, &[1u32, 2, 3, 4], |&p| {
+                assert!(p != 3, "boom");
+                p
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -17,7 +17,7 @@ use cpsim_des::SimDuration;
 use cpsim_metrics::Table;
 use cpsim_mgmt::{CloneMode, ControlPlaneConfig};
 
-use crate::experiments::loops::closed_loop;
+use crate::experiments::loops::{closed_loop, sweep};
 use crate::experiments::{fmt, ExpOptions};
 
 /// Runs F10.
@@ -43,21 +43,25 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "off: latency s",
         ],
     );
-    for &s in &shards {
-        let run_with = |batching: bool| {
-            let mut config = ControlPlaneConfig {
-                shards: s,
-                db_batching: batching,
-                ..Default::default()
-            };
-            // Each shard is a management server with its own task window;
-            // host-side limits are physical and do not scale.
-            config.limits.global = 640u32.saturating_mul(s);
-            config.limits.per_host = 32;
-            closed_loop(opts.seed, config, CloneMode::Linked, n, warmup, measure)
+    // One sweep point per (shard count, batching) cell.
+    let points: Vec<(u32, bool)> = shards
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let results = sweep(opts, &points, |&(s, batching)| {
+        let mut config = ControlPlaneConfig {
+            shards: s,
+            db_batching: batching,
+            ..Default::default()
         };
-        let off = run_with(false);
-        let on = run_with(true);
+        // Each shard is a management server with its own task window;
+        // host-side limits are physical and do not scale.
+        config.limits.global = 640u32.saturating_mul(s);
+        config.limits.per_host = 32;
+        closed_loop(opts.seed, config, CloneMode::Linked, n, warmup, measure)
+    });
+    for (&s, pair) in shards.iter().zip(results.chunks_exact(2)) {
+        let (off, on) = (&pair[0], &pair[1]);
         table.row([
             s.to_string(),
             fmt(off.vms_per_hour),

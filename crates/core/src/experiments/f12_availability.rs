@@ -15,7 +15,7 @@ use cpsim_faults::FaultPlan;
 use cpsim_metrics::{Histogram, Table};
 use cpsim_mgmt::CloneMode;
 
-use crate::experiments::loops::{load_policy, load_topology, open_loop_on};
+use crate::experiments::loops::{load_policy, load_topology, open_loop_on, sweep};
 use crate::experiments::{fmt, ExpOptions};
 use crate::Scenario;
 
@@ -44,54 +44,59 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "aborts",
         ],
     );
-    for mode in [CloneMode::Linked, CloneMode::Full] {
-        // Per-mode offered load the mode's data path can sustain: linked
-        // clones are control-plane-bound, full clones serialize on the
-        // template's source datastore. Load stays identical across fault
-        // rates within a mode — the comparison the retry-amplification
-        // claim needs.
+    // One sweep point per (clone mode, fault rate). Per-mode offered load
+    // is what the mode's data path can sustain: linked clones are
+    // control-plane-bound, full clones serialize on the template's source
+    // datastore. Load stays identical across fault rates within a mode —
+    // the comparison the retry-amplification claim needs.
+    let points: Vec<(CloneMode, f64)> = [CloneMode::Linked, CloneMode::Full]
+        .into_iter()
+        .flat_map(|mode| rates.iter().map(move |&rate| (mode, rate)))
+        .collect();
+    let rows = sweep(opts, &points, |&(mode, rate)| {
         let interval = match mode {
             CloneMode::Full => SimDuration::from_secs(150),
             _ => SimDuration::from_secs(30),
         };
         let offered = ((duration.as_secs_f64() - 1.0) / interval.as_secs_f64()).ceil();
-        for &rate in &rates {
-            let mut scenario =
-                Scenario::bare(load_topology())
-                    .seed(opts.seed)
-                    .policy(ProvisioningPolicy {
-                        on_failure: FailurePolicy::Retry { max_attempts: 3 },
-                        ..load_policy()
-                    });
-            if rate > 0.0 {
-                scenario = scenario.with_fault_plan(plan_for(rate, duration));
-            }
-            let (result, sim) = open_loop_on(scenario.build(), mode, interval, duration);
-
-            let mut latencies = Histogram::new();
-            let mut clean = 0u64;
-            for r in sim.cloud_reports() {
-                if r.kind != "instantiate-vapp" {
-                    continue;
-                }
-                latencies.record(r.latency.as_secs_f64());
-                if r.is_clean() {
-                    clean += 1;
-                }
-            }
-            let stats = sim.plane().stats();
-            table.row([
-                mode.name().to_string(),
-                fmt(rate),
-                fmt(clean as f64 / duration.as_secs_f64() * 3_600.0),
-                fmt(clean as f64 / offered * 100.0),
-                fmt(latencies.quantile(0.99)),
-                fmt(result.cpu_util * 100.0),
-                fmt(result.db_util * 100.0),
-                stats.retries().to_string(),
-                stats.aborts().to_string(),
-            ]);
+        let mut scenario =
+            Scenario::bare(load_topology())
+                .seed(opts.seed)
+                .policy(ProvisioningPolicy {
+                    on_failure: FailurePolicy::Retry { max_attempts: 3 },
+                    ..load_policy()
+                });
+        if rate > 0.0 {
+            scenario = scenario.with_fault_plan(plan_for(rate, duration));
         }
+        let (result, sim) = open_loop_on(scenario.build(), mode, interval, duration);
+
+        let mut latencies = Histogram::new();
+        let mut clean = 0u64;
+        for r in sim.cloud_reports() {
+            if r.kind != "instantiate-vapp" {
+                continue;
+            }
+            latencies.record(r.latency.as_secs_f64());
+            if r.is_clean() {
+                clean += 1;
+            }
+        }
+        let stats = sim.plane().stats();
+        [
+            mode.name().to_string(),
+            fmt(rate),
+            fmt(clean as f64 / duration.as_secs_f64() * 3_600.0),
+            fmt(clean as f64 / offered * 100.0),
+            fmt(latencies.quantile(0.99)),
+            fmt(result.cpu_util * 100.0),
+            fmt(result.db_util * 100.0),
+            stats.retries().to_string(),
+            stats.aborts().to_string(),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     vec![table]
 }

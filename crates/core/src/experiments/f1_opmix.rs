@@ -10,6 +10,7 @@ use cpsim_des::SimTime;
 use cpsim_metrics::Table;
 use cpsim_workload::{cloud_a, cloud_b, enterprise, TraceAnalysis};
 
+use crate::experiments::loops::sweep;
 use crate::experiments::{fmt, ExpOptions};
 use crate::Scenario;
 
@@ -30,14 +31,12 @@ pub const KINDS: [&str; 10] = [
 /// Runs F1.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let hours = opts.pick(72, 8);
-    let analyses: Vec<(String, TraceAnalysis)> = [cloud_a(), cloud_b(), enterprise()]
-        .into_iter()
-        .map(|p| {
-            let mut sim = Scenario::from_profile(&p).seed(opts.seed).build();
-            sim.run_until(SimTime::from_hours(hours));
-            (p.name.clone(), sim.analyze_trace())
-        })
-        .collect();
+    let profiles = [cloud_a(), cloud_b(), enterprise()];
+    let analyses: Vec<(String, TraceAnalysis)> = sweep(opts, &profiles, |p| {
+        let mut sim = Scenario::from_profile(p).seed(opts.seed).build();
+        sim.run_until(SimTime::from_hours(hours));
+        (p.name.clone(), sim.analyze_trace())
+    });
 
     let mut table = Table::new(
         "F1 — Management operation mix (% of operations)",

@@ -9,20 +9,19 @@ use cpsim_des::SimTime;
 use cpsim_metrics::Table;
 use cpsim_workload::{cloud_a, cloud_b, enterprise, TraceAnalysis};
 
+use crate::experiments::loops::sweep;
 use crate::experiments::{fmt, ExpOptions};
 use crate::Scenario;
 
 /// Runs F2.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let hours = opts.pick(48, 12);
-    let analyses: Vec<(String, TraceAnalysis)> = [cloud_a(), cloud_b(), enterprise()]
-        .into_iter()
-        .map(|p| {
-            let mut sim = Scenario::from_profile(&p).seed(opts.seed).build();
-            sim.run_until(SimTime::from_hours(hours));
-            (p.name.clone(), sim.analyze_trace())
-        })
-        .collect();
+    let profiles = [cloud_a(), cloud_b(), enterprise()];
+    let analyses: Vec<(String, TraceAnalysis)> = sweep(opts, &profiles, |p| {
+        let mut sim = Scenario::from_profile(p).seed(opts.seed).build();
+        sim.run_until(SimTime::from_hours(hours));
+        (p.name.clone(), sim.analyze_trace())
+    });
 
     let mut series = Table::new(
         "F2 — Management operations submitted per hour",

@@ -11,7 +11,7 @@ use cpsim_des::SimDuration;
 use cpsim_metrics::Table;
 use cpsim_mgmt::{CloneMode, ControlPlaneConfig};
 
-use crate::experiments::loops::closed_loop;
+use crate::experiments::loops::{closed_loop, sweep};
 use crate::experiments::{fmt, ExpOptions};
 
 /// Runs F4.
@@ -20,6 +20,33 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         opts.pick(vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512], vec![1, 8, 64]);
     let warmup = SimDuration::from_mins(opts.pick(10, 3));
     let measure = SimDuration::from_mins(opts.pick(30, 8));
+
+    // One sweep point per (concurrency, clone mode); the three modes per
+    // row are points too, so the executor can overlap a slow full-clone
+    // window with its neighbors. Full clones share the source array
+    // fairly, so a batch of N completes together after ~N x 100 s; their
+    // window must cover at least one batch or it observes nothing.
+    let points: Vec<(u32, CloneMode, SimDuration)> = concurrency
+        .iter()
+        .flat_map(|&n| {
+            let full_measure = measure.max(SimDuration::from_secs(u64::from(n) * 150 + 600));
+            [
+                (n, CloneMode::Full, full_measure),
+                (n, CloneMode::Linked, measure),
+                (n, CloneMode::Instant, measure),
+            ]
+        })
+        .collect();
+    let results = sweep(opts, &points, |&(n, mode, window)| {
+        closed_loop(
+            opts.seed,
+            ControlPlaneConfig::default(),
+            mode,
+            n,
+            warmup,
+            window,
+        )
+    });
 
     let mut table = Table::new(
         "F4 — Provisioning throughput vs offered concurrency (VMs/hour)",
@@ -34,35 +61,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "linked: datastore busy",
         ],
     );
-    for &n in &concurrency {
-        // Full clones share the source array fairly, so a batch of N
-        // completes together after ~N x 100 s; the window must cover at
-        // least one batch or it observes nothing.
-        let full_measure = measure.max(SimDuration::from_secs(u64::from(n) * 150 + 600));
-        let full = closed_loop(
-            opts.seed,
-            ControlPlaneConfig::default(),
-            CloneMode::Full,
-            n,
-            warmup,
-            full_measure,
-        );
-        let linked = closed_loop(
-            opts.seed,
-            ControlPlaneConfig::default(),
-            CloneMode::Linked,
-            n,
-            warmup,
-            measure,
-        );
-        let instant = closed_loop(
-            opts.seed,
-            ControlPlaneConfig::default(),
-            CloneMode::Instant,
-            n,
-            warmup,
-            measure,
-        );
+    for (&n, modes) in concurrency.iter().zip(results.chunks_exact(3)) {
+        let (full, linked, instant) = (&modes[0], &modes[1], &modes[2]);
         let speedup = if full.vms_per_hour > 0.0 {
             linked.vms_per_hour / full.vms_per_hour
         } else {

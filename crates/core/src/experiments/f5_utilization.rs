@@ -11,7 +11,7 @@ use cpsim_des::SimDuration;
 use cpsim_metrics::Table;
 use cpsim_mgmt::ControlPlaneConfig;
 
-use crate::experiments::loops::open_loop;
+use crate::experiments::loops::{open_loop, sweep};
 use crate::experiments::{fmt, ExpOptions};
 
 /// Runs F5.
@@ -22,6 +22,12 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         vec![1_800, 14_400, 57_600],
     );
     let duration = SimDuration::from_mins(opts.pick(30, 8));
+
+    let results = sweep(opts, &rates, |&rate| {
+        let interval = SimDuration::from_secs_f64(3_600.0 / rate as f64);
+        let (res, _sim) = open_loop(opts.seed, ControlPlaneConfig::default(), interval, duration);
+        res
+    });
 
     let mut table = Table::new(
         "F5 — Utilization vs offered linked-clone rate",
@@ -37,9 +43,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "failures",
         ],
     );
-    for &rate in &rates {
-        let interval = SimDuration::from_secs_f64(3_600.0 / rate as f64);
-        let (res, _sim) = open_loop(opts.seed, ControlPlaneConfig::default(), interval, duration);
+    for (&rate, res) in rates.iter().zip(&results) {
         table.row([
             rate.to_string(),
             fmt(res.vms_per_hour),

@@ -9,6 +9,7 @@ use cpsim_des::SimTime;
 use cpsim_metrics::Table;
 use cpsim_workload::{cloud_a, cloud_b, enterprise};
 
+use crate::experiments::loops::sweep;
 use crate::experiments::{fmt, ExpOptions};
 use crate::Scenario;
 
@@ -30,8 +31,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "p95",
         ],
     );
-    for profile in [cloud_a(), cloud_b(), enterprise()] {
-        let mut sim = Scenario::from_profile(&profile).seed(opts.seed).build();
+    let profiles = [cloud_a(), cloud_b(), enterprise()];
+    let rows = sweep(opts, &profiles, |profile| {
+        let mut sim = Scenario::from_profile(profile).seed(opts.seed).build();
         sim.run_until(SimTime::from_hours(hours));
         let mut a = sim.analyze_trace();
         let mut row = vec![profile.name.clone(), a.lifetimes_hours.count().to_string()];
@@ -42,6 +44,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 row.push(fmt(a.lifetimes_hours.percentile(p)));
             }
         }
+        row
+    });
+    for row in rows {
         table.row(row);
     }
     vec![table]

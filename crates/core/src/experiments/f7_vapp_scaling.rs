@@ -12,7 +12,7 @@ use cpsim_des::{SimDuration, SimTime};
 use cpsim_metrics::Table;
 use cpsim_mgmt::{AdmissionLimits, CloneMode, ControlPlaneConfig};
 
-use crate::experiments::loops::load_topology;
+use crate::experiments::loops::{load_topology, sweep};
 use crate::experiments::{fmt, ExpOptions};
 use crate::Scenario;
 
@@ -51,16 +51,22 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "unlimited",
         ],
     );
-    for &size in &sizes {
+    // One sweep point per (vApp size, limit config) cell.
+    let points: Vec<(u32, AdmissionLimits)> = sizes
+        .iter()
+        .flat_map(|&size| configs().into_iter().map(move |(_, limits)| (size, limits)))
+        .collect();
+    let latencies = sweep(opts, &points, |&(size, limits)| {
+        let config = ControlPlaneConfig {
+            limits,
+            ..Default::default()
+        };
+        deploy_once(opts.seed, config, size)
+    });
+    let per_row = configs().len();
+    for (&size, cells) in sizes.iter().zip(latencies.chunks_exact(per_row)) {
         let mut row = vec![size.to_string()];
-        for (_, limits) in configs() {
-            let config = ControlPlaneConfig {
-                limits,
-                ..Default::default()
-            };
-            let latency = deploy_once(opts.seed, config, size);
-            row.push(fmt(latency));
-        }
+        row.extend(cells.iter().map(|&l| fmt(l)));
         table.row(row);
     }
     vec![table]

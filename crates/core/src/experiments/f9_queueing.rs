@@ -9,14 +9,15 @@ use cpsim_des::SimDuration;
 use cpsim_metrics::{Summary, Table};
 use cpsim_mgmt::ControlPlaneConfig;
 
-use crate::experiments::loops::open_loop;
+use crate::experiments::loops::{open_loop, sweep};
 use crate::experiments::{fmt, ExpOptions};
 
 /// Runs F9.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     // Estimate capacity by overloading an open loop: the completed rate
     // under heavy overload is the plane's sustainable throughput with all
-    // admission limits in force.
+    // admission limits in force. (The load points below depend on this
+    // number, so the probe runs before the sweep fans out.)
     let (cap, _) = open_loop(
         opts.seed,
         ControlPlaneConfig::default(),
@@ -27,6 +28,27 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
 
     let loads = [0.3, 0.7, 0.9];
     let duration = SimDuration::from_mins(opts.pick(40, 10));
+    let rows = sweep(opts, &loads, |&load| {
+        let rate = capacity_per_hour * load;
+        let interval = SimDuration::from_secs_f64(3_600.0 / rate);
+        let (res, sim) = open_loop(opts.seed, ControlPlaneConfig::default(), interval, duration);
+        let mut waits: Summary = sim
+            .task_reports()
+            .iter()
+            .filter(|r| r.is_success())
+            .map(|r| r.queue_secs + r.admission_secs)
+            .collect();
+        [
+            format!("{load:.1}"),
+            fmt(rate),
+            fmt(waits.percentile(50.0)),
+            fmt(waits.percentile(90.0)),
+            fmt(waits.percentile(99.0)),
+            fmt(waits.max()),
+            fmt(res.mean_latency_s),
+        ]
+    });
+
     let mut table = Table::new(
         "F9 — Queueing + admission delay of management operations (seconds)",
         &[
@@ -39,25 +61,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "mean e2e latency s",
         ],
     );
-    for &load in &loads {
-        let rate = capacity_per_hour * load;
-        let interval = SimDuration::from_secs_f64(3_600.0 / rate);
-        let (res, sim) = open_loop(opts.seed, ControlPlaneConfig::default(), interval, duration);
-        let mut waits: Summary = sim
-            .task_reports()
-            .iter()
-            .filter(|r| r.is_success())
-            .map(|r| r.queue_secs + r.admission_secs)
-            .collect();
-        table.row([
-            format!("{load:.1}"),
-            fmt(rate),
-            fmt(waits.percentile(50.0)),
-            fmt(waits.percentile(90.0)),
-            fmt(waits.percentile(99.0)),
-            fmt(waits.max()),
-            fmt(res.mean_latency_s),
-        ]);
+    for row in rows {
+        table.row(row);
     }
     vec![table]
 }

@@ -1,12 +1,32 @@
 //! Shared load-driving helpers: closed-loop (fixed outstanding requests)
-//! and open-loop (fixed arrival rate) provisioning drivers.
+//! and open-loop (fixed arrival rate) provisioning drivers, plus the
+//! parallel sweep entry point the heavy experiments submit points to.
 
 use cpsim_cloud::{CloudRequest, ProvisioningPolicy};
 use cpsim_des::{SimDuration, SimTime};
 use cpsim_mgmt::{CloneMode, ControlPlaneConfig};
 use cpsim_workload::Topology;
 
+use crate::exec::parallel_map;
+use crate::experiments::ExpOptions;
 use crate::{CloudSim, Scenario};
+
+/// Runs one sweep point per element of `points` on the executor and
+/// returns the results in point order.
+///
+/// This is the one funnel every sweep experiment goes through: points run
+/// on up to [`ExpOptions::effective_jobs`] worker threads, results are
+/// merged back in deterministic point order, and each point must derive
+/// all of its randomness from its own inputs (every load driver in this
+/// module builds a fresh [`Scenario`] from an explicit seed, so this
+/// holds by construction). Output is byte-identical at any job count.
+pub fn sweep<P, R>(opts: &ExpOptions, points: &[P], f: impl Fn(&P) -> R + Sync) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+{
+    parallel_map(opts.effective_jobs(), points, f)
+}
 
 /// The topology used by the load experiments: mid-sized, fully seeded, so
 /// linked clones are pure control-plane work.

@@ -51,6 +51,10 @@ pub struct ExpOptions {
     /// Quick mode: shorter horizons and smaller sweeps (used by tests);
     /// full mode reproduces the figures at publication scale.
     pub quick: bool,
+    /// Worker threads for sweep points: `0` = one per available core,
+    /// `1` = fully sequential. Output tables are byte-identical at every
+    /// value — parallelism only changes wall-clock (see [`crate::exec`]).
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -58,6 +62,7 @@ impl Default for ExpOptions {
         ExpOptions {
             seed: 2013,
             quick: false,
+            jobs: 0,
         }
     }
 }
@@ -66,8 +71,23 @@ impl ExpOptions {
     /// Quick-mode options for tests.
     pub fn quick() -> Self {
         ExpOptions {
-            seed: 2013,
             quick: true,
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with an explicit job count.
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        ExpOptions { jobs, ..self }
+    }
+
+    /// The concrete worker count: `jobs`, with `0` resolved to the number
+    /// of available cores.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            crate::exec::available_jobs()
+        } else {
+            self.jobs
         }
     }
 
@@ -87,86 +107,135 @@ pub struct Experiment {
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
+    /// Independent simulation runs in quick mode (the sweep size the
+    /// parallel executor can spread over cores).
+    pub sweep_quick: usize,
+    /// Independent simulation runs at full (publication) scale.
+    pub sweep_full: usize,
     /// Runner.
     pub run: fn(&ExpOptions) -> Vec<Table>,
 }
 
+impl Experiment {
+    /// The sweep size for the given mode.
+    pub fn sweep(&self, quick: bool) -> usize {
+        if quick {
+            self.sweep_quick
+        } else {
+            self.sweep_full
+        }
+    }
+}
+
 /// Every experiment, in paper order.
+///
+/// Sweep sizes count the independent simulation runs each experiment
+/// performs per mode — the units the parallel executor distributes.
 pub fn all() -> Vec<Experiment> {
     vec![
         Experiment {
             id: "t1",
             title: "Table I: characteristics of the two cloud environments",
+            sweep_quick: 3,
+            sweep_full: 3,
             run: t1_environments::run,
         },
         Experiment {
             id: "f1",
             title: "Figure 1: management operation mix, clouds vs enterprise",
+            sweep_quick: 3,
+            sweep_full: 3,
             run: f1_opmix::run,
         },
         Experiment {
             id: "f2",
             title: "Figure 2: request arrival rate over a day",
+            sweep_quick: 3,
+            sweep_full: 3,
             run: f2_arrivals::run,
         },
         Experiment {
             id: "f3",
             title: "Figure 3: per-operation latency, control vs data plane",
+            sweep_quick: 1,
+            sweep_full: 1,
             run: f3_latency_split::run,
         },
         Experiment {
             id: "f4",
             title: "Figure 4: provisioning throughput vs concurrency",
+            sweep_quick: 9,
+            sweep_full: 30,
             run: f4_throughput::run,
         },
         Experiment {
             id: "f5",
             title: "Figure 5: control-plane utilization vs provisioning rate",
+            sweep_quick: 3,
+            sweep_full: 7,
             run: f5_utilization::run,
         },
         Experiment {
             id: "f6",
             title: "Figure 6: VM lifetime distributions",
+            sweep_quick: 3,
+            sweep_full: 3,
             run: f6_lifetimes::run,
         },
         Experiment {
             id: "f7",
             title: "Figure 7: vApp deployment latency vs size under limits",
+            sweep_quick: 12,
+            sweep_full: 28,
             run: f7_vapp_scaling::run,
         },
         Experiment {
             id: "f8",
             title: "Figure 8: cloud reconfiguration cost and interference",
+            sweep_quick: 4,
+            sweep_full: 7,
             run: f8_reconfig::run,
         },
         Experiment {
             id: "f9",
             title: "Figure 9: task queueing-delay distribution vs load",
+            sweep_quick: 4,
+            sweep_full: 4,
             run: f9_queueing::run,
         },
         Experiment {
             id: "t2",
             title: "Table II: control-plane cost breakdown by phase",
+            sweep_quick: 1,
+            sweep_full: 1,
             run: t2_breakdown::run,
         },
         Experiment {
             id: "f10",
             title: "Figure 10: scale-out and DB-batching ablation",
+            sweep_quick: 4,
+            sweep_full: 8,
             run: f10_scaleout::run,
         },
         Experiment {
             id: "f11",
             title: "Figure 11: heartbeat/background load vs inventory size",
+            sweep_quick: 2,
+            sweep_full: 4,
             run: f11_heartbeat::run,
         },
         Experiment {
             id: "f12",
             title: "Figure 12: goodput and availability vs injected fault rate",
+            sweep_quick: 4,
+            sweep_full: 8,
             run: f12_availability::run,
         },
         Experiment {
             id: "t3",
             title: "Table III: retry/abort/rollback breakdown under faults",
+            sweep_quick: 1,
+            sweep_full: 1,
             run: t3_faults::run,
         },
     ]

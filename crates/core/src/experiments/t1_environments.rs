@@ -10,6 +10,7 @@ use cpsim_des::SimTime;
 use cpsim_metrics::Table;
 use cpsim_workload::{cloud_a, cloud_b, enterprise, Profile};
 
+use crate::experiments::loops::sweep;
 use crate::experiments::{fmt, ExpOptions};
 use crate::Scenario;
 
@@ -31,8 +32,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "clone mode",
         ],
     );
-    for profile in [cloud_a(), cloud_b(), enterprise()] {
-        let row = profile_row(&profile, hours, opts.seed);
+    let profiles = [cloud_a(), cloud_b(), enterprise()];
+    for row in sweep(opts, &profiles, |p| profile_row(p, hours, opts.seed)) {
         table.row(row);
     }
     vec![table]

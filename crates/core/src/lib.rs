@@ -46,6 +46,7 @@
 //! ```
 
 pub mod driver;
+pub mod exec;
 pub mod experiments;
 pub mod scenario;
 

@@ -1,8 +1,26 @@
 //! The simulation driver: pops events in `(time, seq)` order and hands them
 //! to a [`Model`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::queue::EventQueue;
 use crate::time::SimTime;
+
+/// Process-wide tally of events handled by every [`Simulation`], flushed at
+/// the end of each `run_*` call (so the per-event hot path never touches
+/// shared state). The `cpsim-bench` harness snapshots it around an
+/// experiment to report events/sec; with parallel sweeps the workers have
+/// all joined by then, so the delta is exact.
+static GLOBAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total events processed by all simulations in this process so far.
+///
+/// Monotonic; take a snapshot before and after a region to attribute a
+/// delta to it. Only updated when a `run_*` call returns (single
+/// [`Simulation::step`] calls are flushed on the next `run_*`).
+pub fn global_events_processed() -> u64 {
+    GLOBAL_EVENTS.load(Ordering::Relaxed)
+}
 
 /// A simulated system: owns the state and reacts to events.
 ///
@@ -33,6 +51,8 @@ pub struct Simulation<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     processed: u64,
+    /// Portion of `processed` already flushed to [`GLOBAL_EVENTS`].
+    flushed: u64,
     event_limit: u64,
 }
 
@@ -44,6 +64,7 @@ impl<M: Model> Simulation<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            flushed: 0,
             event_limit: u64::MAX,
         }
     }
@@ -113,39 +134,72 @@ impl<M: Model> Simulation<M> {
     /// stopped the run, so consecutive horizons compose:
     /// `run_until(a); run_until(b)` with `a <= b` is equivalent to
     /// `run_until(b)`.
+    ///
+    /// The hot path is a single fused
+    /// [`pop_if_before`](EventQueue::pop_if_before) per event instead of
+    /// the peek-compare-pop sequence a naive loop would issue.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        loop {
-            match self.queue.next_time() {
-                Some(t) if t <= horizon => {
-                    if self.processed >= self.event_limit {
-                        return RunOutcome::EventLimit;
+        let outcome = loop {
+            if self.processed >= self.event_limit {
+                match self.queue.next_time() {
+                    Some(t) if t <= horizon => break RunOutcome::EventLimit,
+                    Some(_) => {
+                        self.now = horizon;
+                        break RunOutcome::HorizonReached;
                     }
-                    self.step();
+                    None => {
+                        if self.now < horizon {
+                            self.now = horizon;
+                        }
+                        break RunOutcome::Drained;
+                    }
                 }
-                Some(_) => {
-                    self.now = horizon;
-                    return RunOutcome::HorizonReached;
+            }
+            match self.queue.pop_if_before(horizon) {
+                Some((time, event)) => {
+                    debug_assert!(time >= self.now, "event queue went backwards");
+                    self.now = time;
+                    self.processed += 1;
+                    self.model.handle(time, event, &mut self.queue);
                 }
-                None => {
+                None if self.queue.is_empty() => {
                     if self.now < horizon {
                         self.now = horizon;
                     }
-                    return RunOutcome::Drained;
+                    break RunOutcome::Drained;
+                }
+                None => {
+                    self.now = horizon;
+                    break RunOutcome::HorizonReached;
                 }
             }
-        }
+        };
+        self.flush_events();
+        outcome
     }
 
     /// Runs until the event queue is empty (or the event budget is hit).
     pub fn run_to_completion(&mut self) -> RunOutcome {
-        loop {
+        let outcome = loop {
             if self.queue.is_empty() {
-                return RunOutcome::Drained;
+                break RunOutcome::Drained;
             }
             if self.processed >= self.event_limit {
-                return RunOutcome::EventLimit;
+                break RunOutcome::EventLimit;
             }
             self.step();
+        };
+        self.flush_events();
+        outcome
+    }
+
+    /// Adds events processed since the last flush to the process-wide
+    /// counter (see [`global_events_processed`]).
+    fn flush_events(&mut self) {
+        let delta = self.processed - self.flushed;
+        if delta > 0 {
+            GLOBAL_EVENTS.fetch_add(delta, Ordering::Relaxed);
+            self.flushed = self.processed;
         }
     }
 }
@@ -222,6 +276,41 @@ mod tests {
         sim.schedule(SimTime::ZERO, Ev::N(0));
         assert_eq!(sim.run_to_completion(), RunOutcome::EventLimit);
         assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn event_limit_stops_run_until_and_resumes() {
+        let mut sim = Simulation::new(Counter {
+            respawn: true,
+            ..Default::default()
+        });
+        sim.set_event_limit(2);
+        sim.schedule(SimTime::ZERO, Ev::N(0));
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(100)),
+            RunOutcome::EventLimit
+        );
+        assert_eq!(sim.events_processed(), 2);
+        // The clock stays at the last processed event, not the horizon.
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        // Raising the budget resumes cleanly.
+        sim.set_event_limit(u64::MAX);
+        assert_eq!(sim.run_until(SimTime::from_secs(100)), RunOutcome::Drained);
+        assert_eq!(sim.model().seen.len(), 11);
+    }
+
+    #[test]
+    fn global_counter_accumulates_processed_events() {
+        let before = global_events_processed();
+        let mut sim = Simulation::new(Counter {
+            respawn: true,
+            ..Default::default()
+        });
+        sim.schedule(SimTime::ZERO, Ev::N(0));
+        sim.run_to_completion();
+        // Other tests on sibling threads may also bump the counter, so
+        // only a lower bound is assertable.
+        assert!(global_events_processed() - before >= 11);
     }
 
     #[test]

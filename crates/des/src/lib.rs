@@ -54,8 +54,8 @@ pub mod rng;
 pub mod time;
 
 pub use dist::{Dist, DistError};
-pub use engine::{Model, RunOutcome, Simulation};
-pub use queue::{EventQueue, TimerToken, TokenGen};
+pub use engine::{global_events_processed, Model, RunOutcome, Simulation};
+pub use queue::{EventKey, EventQueue, TimerToken, TokenGen};
 pub use resource::bandwidth::{SharedBandwidth, TransferDone, TransferPlan};
 pub use resource::fifo::FifoQueue;
 pub use resource::slots::SlotPool;
