@@ -25,9 +25,11 @@ pub struct Cli {
     pub csv_dir: Option<PathBuf>,
     /// Where to write the timing summary; `None` disables it.
     ///
-    /// `parse` defaults this to [`BENCH_DEFAULT_PATH`] so the binary
-    /// always records timings; `Cli::default()` leaves it off so library
-    /// callers (tests) don't touch the filesystem.
+    /// `parse` defaults this to [`BENCH_DEFAULT_PATH`] for full-scale runs
+    /// so the binary records a perf trajectory; `--quick` runs default to
+    /// off (pass `--bench` to opt in) so a smoke run cannot silently
+    /// overwrite the committed full-scale record. `Cli::default()` leaves
+    /// it off so library callers (tests) don't touch the filesystem.
     pub bench_path: Option<PathBuf>,
     /// Print help and exit.
     pub help: bool,
@@ -42,10 +44,10 @@ impl Cli {
     ///
     /// Returns a message for unknown flags or malformed values.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
-        let mut cli = Cli {
-            bench_path: Some(PathBuf::from(BENCH_DEFAULT_PATH)),
-            ..Cli::default()
-        };
+        let mut cli = Cli::default();
+        // `Some(..)` once --bench/--no-bench appears; the default depends
+        // on --quick, which may come later, so it is resolved after the loop.
+        let mut bench_flag: Option<Option<PathBuf>> = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -70,13 +72,18 @@ impl Cli {
                 }
                 "--bench" => {
                     let v = it.next().ok_or("--bench needs a file path")?;
-                    cli.bench_path = Some(PathBuf::from(v));
+                    bench_flag = Some(Some(PathBuf::from(v)));
                 }
-                "--no-bench" => cli.bench_path = None,
+                "--no-bench" => bench_flag = Some(None),
                 s if s.starts_with('-') => return Err(format!("unknown flag: {s}")),
                 id => cli.ids.push(id.to_string()),
             }
         }
+        cli.bench_path = match bench_flag {
+            Some(explicit) => explicit,
+            None if cli.quick => None,
+            None => Some(PathBuf::from(BENCH_DEFAULT_PATH)),
+        };
         Ok(cli)
     }
 
@@ -130,7 +137,9 @@ pub fn usage() -> String {
          \x20      repro list\n\n\
          --jobs N   worker threads per sweep (default: one per core;\n\
          \x20          1 = sequential; tables are identical either way)\n\
-         --bench F  write the timing summary to F (default: {BENCH_DEFAULT_PATH})\n\n\
+         --bench F  write the timing summary to F (default: {BENCH_DEFAULT_PATH}\n\
+         \x20          for full runs; off under --quick so smoke runs never\n\
+         \x20          overwrite the committed full-scale record)\n\n\
          Experiments (default: all):\n{}\n",
         listing()
     )
@@ -163,21 +172,26 @@ pub struct BenchRecord {
     pub events_per_sec: f64,
     /// Worker threads the sweep ran with.
     pub jobs: usize,
+    /// Sweep scale the numbers were measured at: `"quick"` or `"full"`.
+    /// Makes a quick-mode file self-describing, so it can never pass for
+    /// the committed full-scale record.
+    pub scale: &'static str,
 }
 
 /// Renders the timing records as the `BENCH_suite.json` document:
-/// `{ "<id>": {"wall_ms": .., "events": .., "events_per_sec": .., "jobs": ..}, .. }`
+/// `{ "<id>": {"wall_ms": .., "events": .., "events_per_sec": .., "jobs": .., "scale": ".."}, .. }`
 /// in experiment (paper) order.
 pub fn bench_json(records: &[BenchRecord]) -> String {
     let mut s = String::from("{\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str(&format!(
-            "  \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"jobs\": {}}}{}\n",
+            "  \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"jobs\": {}, \"scale\": \"{}\"}}{}\n",
             r.id,
             r.wall_ms,
             r.events,
             r.events_per_sec,
             r.jobs,
+            r.scale,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -232,6 +246,7 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
             events,
             events_per_sec,
             jobs,
+            scale: if cli.quick { "quick" } else { "full" },
         });
     }
     if let Some(path) = &cli.bench_path {
@@ -290,7 +305,7 @@ mod tests {
 
     #[test]
     fn bench_flags_control_summary_path() {
-        // The binary writes the summary by default...
+        // Full-scale runs write the summary by default...
         let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
         assert_eq!(
             cli.bench_path.as_deref(),
@@ -309,6 +324,25 @@ mod tests {
     }
 
     #[test]
+    fn quick_mode_never_overwrites_full_record_by_default() {
+        // A quick run must not silently clobber the committed full-scale
+        // BENCH_suite.json: bench output defaults off under --quick...
+        let cli = Cli::parse(["--quick".to_string()]).unwrap();
+        assert!(cli.bench_path.is_none());
+        // ...regardless of flag order...
+        let cli = Cli::parse(["t1", "-q"].map(String::from)).unwrap();
+        assert!(cli.bench_path.is_none());
+        // ...but an explicit --bench opts back in (how CI captures its
+        // artifact), even when --quick comes after it.
+        let cli = Cli::parse(["--bench", "/tmp/b.json", "--quick"].map(String::from)).unwrap();
+        assert_eq!(
+            cli.bench_path.as_deref(),
+            Some(std::path::Path::new("/tmp/b.json"))
+        );
+        assert!(cli.quick);
+    }
+
+    #[test]
     fn bench_json_is_well_formed_and_ordered() {
         let records = vec![
             BenchRecord {
@@ -317,6 +351,7 @@ mod tests {
                 events: 1000,
                 events_per_sec: 80000.0,
                 jobs: 2,
+                scale: "full",
             },
             BenchRecord {
                 id: "f4",
@@ -324,13 +359,14 @@ mod tests {
                 events: 50000,
                 events_per_sec: 200000.0,
                 jobs: 2,
+                scale: "full",
             },
         ];
         let json = bench_json(&records);
         let t1 = json.find("\"t1\"").unwrap();
         let f4 = json.find("\"f4\"").unwrap();
         assert!(t1 < f4, "paper order preserved");
-        for key in ["wall_ms", "events", "events_per_sec", "jobs"] {
+        for key in ["wall_ms", "events", "events_per_sec", "jobs", "scale"] {
             assert!(json.contains(key), "missing {key}");
         }
         // Exactly one trailing comma between the two objects, none after
@@ -357,6 +393,7 @@ mod tests {
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"t2\""));
         assert!(json.contains("\"jobs\": 1"));
+        assert!(json.contains("\"scale\": \"quick\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

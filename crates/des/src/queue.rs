@@ -74,8 +74,9 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Sequence numbers cancelled while still pending. Invariant: the heap
     /// root is never cancelled (so [`next_time`](Self::next_time) needs no
-    /// mutation), restored by [`cancel`](Self::cancel) and
-    /// [`pop`](Self::pop).
+    /// mutation). Only removals can surface a tombstone at the root
+    /// (pushes sift the *new* entry up), so [`pop_raw`](Self::pop_raw)
+    /// restores the invariant after every removal.
     cancelled: HashSet<u64>,
     /// Sequence numbers scheduled via [`schedule_keyed`](Self::schedule_keyed)
     /// and still pending: lets `cancel` decide pendingness exactly in O(1).
@@ -222,6 +223,20 @@ impl<E> EventQueue<E> {
     }
 
     fn pop_raw(&mut self) -> Option<Entry<E>> {
+        let entry = self.remove_root();
+        // Removing the root may promote a tombstoned entry into its place;
+        // discard such entries now so the root-is-live invariant holds for
+        // every peek (`next_time`, `pop_if_before`, `is_empty`).
+        while let Some(root) = self.heap.first() {
+            if !self.cancelled.remove(&root.seq) {
+                break;
+            }
+            self.remove_root();
+        }
+        entry
+    }
+
+    fn remove_root(&mut self) -> Option<Entry<E>> {
         let len = self.heap.len();
         if len == 0 {
             return None;
@@ -437,6 +452,59 @@ mod tests {
         assert_eq!(q.next_time(), Some(SimTime::from_secs(2)));
         assert_eq!(q.pop_if_before(SimTime::from_secs(1)), None);
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn popping_never_leaves_a_tombstone_at_the_root() {
+        // Regression: cancel a non-root entry, then pop the root. The
+        // tombstone is promoted to the root, and every peek-based API
+        // must still behave as if it were gone.
+        let mut q = EventQueue::new();
+        let _a = q.schedule_keyed(SimTime::from_secs(1), "a");
+        let b = q.schedule_keyed(SimTime::from_secs(2), "b");
+        let _c = q.schedule_keyed(SimTime::from_secs(3), "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(
+            q.pop_if_before(SimTime::from_secs(2)),
+            None,
+            "cancelled root must not admit a past-horizon event"
+        );
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.tombstoned_len(), 0, "tombstone discarded on promotion");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_fast_path_skips_promoted_tombstones() {
+        // Regression: cancelling the root pops it; the entry promoted in
+        // its place may itself be tombstoned and must be discarded too.
+        let mut q = EventQueue::new();
+        let a = q.schedule_keyed(SimTime::from_secs(1), "a");
+        let b = q.schedule_keyed(SimTime::from_secs(2), "b");
+        let _c = q.schedule_keyed(SimTime::from_secs(3), "c");
+        assert!(q.cancel(b));
+        assert!(q.cancel(a));
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.tombstoned_len(), 0);
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn is_empty_true_when_all_remaining_entries_are_cancelled() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule_keyed(SimTime::from_secs(1), "a");
+        let b = q.schedule_keyed(SimTime::from_secs(2), "b");
+        assert!(q.cancel(b));
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(q.is_empty(), "only a tombstone remained");
+        assert_eq!(q.live_len(), 0);
+        assert_eq!(q.next_time(), None);
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

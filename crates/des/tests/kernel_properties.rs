@@ -107,6 +107,7 @@ proptest! {
                     let horizon = t / 2;
                     reference.sort(); // stable order == (time, seq) order
                     while let Some((pt, pi)) = q.pop_if_before(SimTime::from_micros(horizon)) {
+                        prop_assert!(pt.as_micros() <= horizon, "popped event past horizon");
                         prop_assert!(!reference.is_empty());
                         let (rt, ri) = reference.remove(0);
                         prop_assert_eq!((rt, ri), (pt.as_micros(), pi));
