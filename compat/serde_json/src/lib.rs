@@ -6,7 +6,8 @@
 //! shortest round-trip representation, so `f64` values survive a
 //! round-trip bit-exactly; `u64`/`i64` keep full integer precision.
 
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// Serialization/deserialization error.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -9,19 +9,54 @@ use cpsim_inventory::{DatastoreSpec, HostSpec, Inventory, VmSpec};
 use cpsim_mgmt::{CloneMode, ControlPlane, ControlPlaneConfig, Emit, MgmtEvent, OpKind, Placer};
 use cpsim_storage::{StoragePool, TemplateResidency};
 
-fn bench_placement_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("placement");
-    for &hosts in &[64usize, 1024] {
-        let mut inv = Inventory::new();
-        let ds = inv.add_datastore(DatastoreSpec::new("ds", 1e6, 200.0));
-        for i in 0..hosts {
-            let h = inv.add_host(HostSpec::new(format!("h{i}"), 48_000, 262_144));
+/// An inventory of `hosts` hosts spread across `hosts / 64` datastores
+/// (min 1), every host connected to every datastore.
+fn placement_fixture(hosts: usize) -> Inventory {
+    let mut inv = Inventory::new();
+    let datastores: Vec<_> = (0..(hosts / 64).max(1))
+        .map(|i| inv.add_datastore(DatastoreSpec::new(format!("ds{i}"), 1e6, 200.0)))
+        .collect();
+    for i in 0..hosts {
+        let h = inv.add_host(HostSpec::new(format!("h{i}"), 48_000, 262_144));
+        for &ds in &datastores {
             inv.connect_host_datastore(h, ds).unwrap();
         }
+    }
+    inv
+}
+
+fn bench_placement_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    // The decision itself: with the inventory-maintained candidate
+    // indexes this should be ~flat in host count, where the old full
+    // scan grew linearly.
+    for &hosts in &[64usize, 1024, 10_240] {
+        let inv = placement_fixture(hosts);
         let residency = TemplateResidency::new();
-        g.bench_function(format!("scan-{hosts}-hosts"), |b| {
+        g.bench_function(format!("decide-{hosts}-hosts"), |b| {
             let mut placer = Placer::default();
             b.iter(|| black_box(placer.place(&inv, &residency, 10.0, 1024, None)));
+        });
+    }
+    // Decision + index maintenance under churn: place, create the VM on
+    // the chosen pair (re-keying host and datastore), destroy it again.
+    for &hosts in &[1024usize, 10_240] {
+        let mut inv = placement_fixture(hosts);
+        let residency = TemplateResidency::new();
+        g.bench_function(format!("place-churn-{hosts}-hosts"), |b| {
+            let mut placer = Placer::default();
+            let mut n = 0u64;
+            b.iter(|| {
+                let (host, ds) = placer
+                    .place(&inv, &residency, 10.0, 1024, None)
+                    .expect("fixture has capacity");
+                n += 1;
+                let vm = inv
+                    .create_vm(format!("vm{n}"), VmSpec::new(2, 1024, 10.0), host, ds)
+                    .unwrap();
+                inv.destroy_vm(vm).unwrap();
+                black_box((host, ds))
+            });
         });
     }
     g.finish();
@@ -48,13 +83,16 @@ fn bench_clone_tree(c: &mut Criterion) {
 /// Drives one operation through the full plane (control path only).
 fn drive_one(plane: &mut ControlPlane, op: OpKind) {
     let mut queue: EventQueue<MgmtEvent> = EventQueue::new();
-    for e in plane.submit(SimTime::ZERO, op) {
+    let mut emits: Vec<Emit> = Vec::new();
+    plane.submit(SimTime::ZERO, op, &mut emits);
+    for e in emits.drain(..) {
         if let Emit::At(t, ev) = e {
             queue.schedule(t, ev);
         }
     }
     while let Some((t, ev)) = queue.pop() {
-        for e in plane.handle(t, ev) {
+        plane.handle(t, ev, &mut emits);
+        for e in emits.drain(..) {
             if let Emit::At(t2, ev2) = e {
                 queue.schedule(t2, ev2);
             }

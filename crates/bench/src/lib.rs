@@ -35,6 +35,12 @@ pub struct Cli {
     pub help: bool,
     /// `list` subcommand: print the experiment catalog and exit.
     pub list: bool,
+    /// Diff this run's throughput against a recorded baseline and fail
+    /// on a >2× events/sec regression.
+    pub compare: bool,
+    /// Baseline record for `--compare` (default: the committed
+    /// [`BENCH_DEFAULT_PATH`]).
+    pub baseline: Option<PathBuf>,
 }
 
 impl Cli {
@@ -75,6 +81,11 @@ impl Cli {
                     bench_flag = Some(Some(PathBuf::from(v)));
                 }
                 "--no-bench" => bench_flag = Some(None),
+                "--compare" => cli.compare = true,
+                "--baseline" => {
+                    let v = it.next().ok_or("--baseline needs a file path")?;
+                    cli.baseline = Some(PathBuf::from(v));
+                }
                 s if s.starts_with('-') => return Err(format!("unknown flag: {s}")),
                 id => cli.ids.push(id.to_string()),
             }
@@ -133,13 +144,16 @@ pub fn usage() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
          USAGE: repro [IDS...] [--quick] [--seed N] [--jobs N] [--csv DIR]\n\
-         \x20              [--bench FILE | --no-bench]\n\
+         \x20              [--bench FILE | --no-bench] [--compare] [--baseline FILE]\n\
          \x20      repro list\n\n\
-         --jobs N   worker threads per sweep (default: one per core;\n\
-         \x20          1 = sequential; tables are identical either way)\n\
-         --bench F  write the timing summary to F (default: {BENCH_DEFAULT_PATH}\n\
-         \x20          for full runs; off under --quick so smoke runs never\n\
-         \x20          overwrite the committed full-scale record)\n\n\
+         --jobs N     worker threads per sweep (default: one per core;\n\
+         \x20            1 = sequential; tables are identical either way)\n\
+         --bench F    write the timing summary to F (default: {BENCH_DEFAULT_PATH}\n\
+         \x20            for full runs; off under --quick so smoke runs never\n\
+         \x20            overwrite the committed full-scale record)\n\
+         --compare    diff this run's events/sec against the recorded\n\
+         \x20            baseline and fail on a >2x same-scale regression\n\
+         --baseline F baseline record for --compare (default: {BENCH_DEFAULT_PATH})\n\n\
          Experiments (default: all):\n{}\n",
         listing()
     )
@@ -147,16 +161,42 @@ pub fn usage() -> String {
 
 /// One line per experiment: id, title and sweep width, in paper order.
 pub fn listing() -> String {
+    listing_with_baseline(&[])
+}
+
+/// [`listing`], with each experiment's last recorded throughput appended
+/// when the baseline has an entry for it.
+pub fn listing_with_baseline(baseline: &[(String, BaselineRecord)]) -> String {
     all()
         .iter()
         .map(|e| {
+            let recorded = baseline
+                .iter()
+                .find(|(id, _)| id == e.id)
+                .map(|(_, b)| format!("  last {}: {:.0} events/s", b.scale, b.events_per_sec))
+                .unwrap_or_default();
             format!(
-                "  {:4} {}  [{} quick / {} full sweep points]",
-                e.id, e.title, e.sweep_quick, e.sweep_full
+                "  {:4} {}  [{} quick / {} full sweep points]{}",
+                e.id, e.title, e.sweep_quick, e.sweep_full, recorded
             )
         })
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// Reads and parses the baseline record at `path`; `Ok(vec![])` when the
+/// file does not exist (callers degrade to a plain listing).
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read or parsed.
+pub fn load_baseline(path: &std::path::Path) -> Result<Vec<(String, BaselineRecord)>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    parse_bench_json(&text)
 }
 
 /// One experiment's timing record, as written to `BENCH_suite.json`.
@@ -176,6 +216,103 @@ pub struct BenchRecord {
     /// Makes a quick-mode file self-describing, so it can never pass for
     /// the committed full-scale record.
     pub scale: &'static str,
+}
+
+/// A baseline entry parsed back out of a `BENCH_suite.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRecord {
+    /// Recorded events/sec.
+    pub events_per_sec: f64,
+    /// Recorded sweep scale (`"quick"` or `"full"`).
+    pub scale: String,
+}
+
+/// Parses a `BENCH_suite.json` document into `(id, record)` pairs in file
+/// order. Entries missing either field are skipped (old records carry
+/// fewer fields).
+///
+/// # Errors
+///
+/// Returns a message when the document is not a JSON object.
+pub fn parse_bench_json(text: &str) -> Result<Vec<(String, BaselineRecord)>, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("parsing bench record: {e:?}"))?;
+    let entries = value.as_obj().ok_or("bench record is not a JSON object")?;
+    let as_f64 = |v: &serde_json::Value| -> Option<f64> {
+        match v {
+            serde_json::Value::U64(x) => Some(*x as f64),
+            serde_json::Value::I64(x) => Some(*x as f64),
+            serde_json::Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    };
+    Ok(entries
+        .iter()
+        .filter_map(|(id, rec)| {
+            let events_per_sec = rec.get("events_per_sec").and_then(as_f64)?;
+            let scale = rec.get("scale").and_then(|s| s.as_str())?.to_string();
+            Some((
+                id.clone(),
+                BaselineRecord {
+                    events_per_sec,
+                    scale,
+                },
+            ))
+        })
+        .collect())
+}
+
+/// The `--compare` gate: a run regresses when it is more than 2× slower
+/// than its recorded baseline (`current < baseline / 2`). Loose enough to
+/// absorb machine noise, tight enough to catch a hot path growing a scan.
+pub const REGRESSION_RATIO: f64 = 0.5;
+
+/// Diffs `current` against a parsed baseline. Returns the human-readable
+/// table and the ids that regressed past [`REGRESSION_RATIO`].
+///
+/// Only same-scale entries gate: a quick run diffed against a full-scale
+/// record is reported informationally (the two measure different sweep
+/// widths), never failed.
+pub fn compare_records(
+    current: &[BenchRecord],
+    baseline: &[(String, BaselineRecord)],
+) -> (String, Vec<String>) {
+    let mut table = String::from(
+        "bench-compare (events/sec, higher is better)\n\
+         | exp | baseline | current | ratio | verdict |\n\
+         |-----|----------|---------|-------|---------|\n",
+    );
+    let mut regressions = Vec::new();
+    for r in current {
+        let row = match baseline.iter().find(|(id, _)| id == r.id) {
+            None => format!(
+                "| {} | — | {:.0} | — | new (no baseline) |",
+                r.id, r.events_per_sec
+            ),
+            Some((_, base)) => {
+                let ratio = if base.events_per_sec > 0.0 {
+                    r.events_per_sec / base.events_per_sec
+                } else {
+                    f64::INFINITY
+                };
+                let verdict = if base.scale != r.scale {
+                    format!("info only ({} baseline vs {} run)", base.scale, r.scale)
+                } else if ratio < REGRESSION_RATIO {
+                    regressions.push(r.id.to_string());
+                    ">2x regression".to_string()
+                } else {
+                    "ok".to_string()
+                };
+                format!(
+                    "| {} | {:.0} | {:.0} | {:.2}x | {} |",
+                    r.id, base.events_per_sec, r.events_per_sec, ratio, verdict
+                )
+            }
+        };
+        table.push_str(&row);
+        table.push('\n');
+    }
+    (table, regressions)
 }
 
 /// Renders the timing records as the `BENCH_suite.json` document:
@@ -259,6 +396,28 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
         std::fs::write(path, bench_json(&records))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         writeln!(out, "bench: wrote {}", path.display()).map_err(|e| e.to_string())?;
+    }
+    if cli.compare {
+        let baseline_path = cli
+            .baseline
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(BENCH_DEFAULT_PATH));
+        let baseline = load_baseline(&baseline_path)?;
+        if baseline.is_empty() {
+            return Err(format!(
+                "--compare: no baseline at {} (run a full-scale `repro` once to record one)",
+                baseline_path.display()
+            ));
+        }
+        let (table, regressions) = compare_records(&records, &baseline);
+        writeln!(out, "\n{table}").map_err(|e| e.to_string())?;
+        if !regressions.is_empty() {
+            return Err(format!(
+                "bench-compare: >2x events/sec regression vs {} in: {}",
+                baseline_path.display(),
+                regressions.join(", ")
+            ));
+        }
     }
     Ok(())
 }
@@ -394,6 +553,113 @@ mod tests {
         assert!(json.contains("\"t2\""));
         assert!(json.contains("\"jobs\": 1"));
         assert!(json.contains("\"scale\": \"quick\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn rec(id: &'static str, eps: f64, scale: &'static str) -> BenchRecord {
+        BenchRecord {
+            id,
+            wall_ms: 100.0,
+            events: 1000,
+            events_per_sec: eps,
+            jobs: 1,
+            scale,
+        }
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_parser() {
+        let records = vec![rec("t1", 80_000.0, "full"), rec("f4", 200_000.5, "full")];
+        let parsed = parse_bench_json(&bench_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "t1");
+        assert!((parsed[0].1.events_per_sec - 80_000.0).abs() < 1e-6);
+        assert_eq!(parsed[1].1.scale, "full");
+    }
+
+    #[test]
+    fn compare_flags_regressions_past_2x_only() {
+        let baseline = parse_bench_json(&bench_json(&[
+            rec("t1", 100_000.0, "full"),
+            rec("f4", 100_000.0, "full"),
+            rec("f5", 100_000.0, "full"),
+        ]))
+        .unwrap();
+        let current = vec![
+            rec("t1", 60_000.0, "full"),  // 0.6x: slower but inside the gate
+            rec("f4", 49_000.0, "full"),  // 0.49x: regression
+            rec("f5", 300_000.0, "full"), // improvement
+        ];
+        let (table, regressions) = compare_records(&current, &baseline);
+        assert_eq!(regressions, vec!["f4".to_string()]);
+        assert!(table.contains("| f4 | 100000 | 49000 | 0.49x | >2x regression |"));
+        assert!(table.contains("| t1 | 100000 | 60000 | 0.60x | ok |"));
+        assert!(table.contains("3.00x"));
+    }
+
+    #[test]
+    fn compare_across_scales_is_informational() {
+        let baseline = parse_bench_json(&bench_json(&[rec("f5", 1_000_000.0, "full")])).unwrap();
+        // 10x slower, but a quick run against a full baseline never gates.
+        let (table, regressions) = compare_records(&[rec("f5", 100_000.0, "quick")], &baseline);
+        assert!(regressions.is_empty());
+        assert!(table.contains("info only (full baseline vs quick run)"));
+    }
+
+    #[test]
+    fn compare_handles_missing_baseline_entries() {
+        let (table, regressions) = compare_records(&[rec("f12", 5.0, "full")], &[]);
+        assert!(regressions.is_empty());
+        assert!(table.contains("new (no baseline)"));
+    }
+
+    #[test]
+    fn compare_flag_parses() {
+        let cli = Cli::parse(["--quick", "--compare"].map(String::from)).unwrap();
+        assert!(cli.compare);
+        assert!(cli.baseline.is_none());
+        let cli = Cli::parse(["--compare", "--baseline", "/tmp/b.json"].map(String::from)).unwrap();
+        assert_eq!(
+            cli.baseline.as_deref(),
+            Some(std::path::Path::new("/tmp/b.json"))
+        );
+        assert!(Cli::parse(["--baseline".to_string()]).is_err());
+    }
+
+    #[test]
+    fn listing_with_baseline_appends_throughput() {
+        let baseline = parse_bench_json(&bench_json(&[rec("t1", 123_456.0, "full")])).unwrap();
+        let l = listing_with_baseline(&baseline);
+        assert!(l.contains("last full: 123456 events/s"));
+        // Experiments without a record keep their plain line.
+        assert!(l.contains("f12"));
+        assert_eq!(l.matches("events/s").count(), 1);
+    }
+
+    #[test]
+    fn run_with_compare_gates_against_baseline() {
+        let dir = std::env::temp_dir().join(format!("cpsim_cmp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline_path = dir.join("base.json");
+        // An absurdly fast quick-scale baseline forces the gate to fire...
+        std::fs::write(&baseline_path, bench_json(&[rec("t2", 1e12, "quick")])).unwrap();
+        let cli = Cli {
+            ids: vec!["t2".to_string()],
+            quick: true,
+            jobs: Some(1),
+            compare: true,
+            baseline: Some(baseline_path.clone()),
+            ..Cli::default()
+        };
+        let mut out = Vec::new();
+        let err = run(&cli, &mut out).unwrap_err();
+        assert!(err.contains("t2"), "{err}");
+        // ...and an unachievably slow one passes.
+        std::fs::write(&baseline_path, bench_json(&[rec("t2", 1e-3, "quick")])).unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("bench-compare"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

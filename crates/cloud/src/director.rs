@@ -741,8 +741,7 @@ impl CloudDirector {
         self.ctx.insert(tag, ctx);
         wf.outstanding += 1;
         wf.issued += 1;
-        out.mgmt
-            .extend(plane.submit(now, Operation::tagged(op, tag)));
+        plane.submit(now, Operation::tagged(op, tag), &mut out.mgmt);
     }
 
     /// Like [`issue`], but for a continuation inside an already-registered
@@ -763,8 +762,7 @@ impl CloudDirector {
         if let Some(wf) = self.workflows.get_mut(&wf_id) {
             wf.issued += 1;
         }
-        out.mgmt
-            .extend(plane.submit(now, Operation::tagged(op, tag)));
+        plane.submit(now, Operation::tagged(op, tag), &mut out.mgmt);
     }
 
     fn members_in_state(&self, vapp: VappId, plane: &ControlPlane, state: PowerState) -> Vec<VmId> {

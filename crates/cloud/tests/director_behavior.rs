@@ -52,7 +52,7 @@ impl Sim {
             assert!(guard < 10_000_000, "event storm");
             match ev {
                 Ev::Mgmt(ev) => {
-                    let emits = self.plane.handle(t, ev);
+                    let emits = self.plane.handle_collect(t, ev);
                     let out = CloudOut {
                         mgmt: emits,
                         ..Default::default()

@@ -38,31 +38,73 @@ pub struct CloudModel {
     datastores: Vec<DatastoreId>,
     templates: Vec<VmId>,
     org: OrgId,
+    /// Reused emission buffer: the plane appends into this on every
+    /// dispatched event instead of allocating a fresh `Vec` per event.
+    scratch: Vec<Emit>,
 }
 
 impl CloudModel {
-    fn route(&mut self, now: SimTime, out: CloudOut, queue: &mut EventQueue<CoreEvent>) {
-        let mut stack = vec![out];
+    /// Routes one emission: timers go onto the kernel queue, task reports
+    /// go to the director, whose output the caller must route in turn.
+    fn consume_emit(
+        &mut self,
+        now: SimTime,
+        e: Emit,
+        queue: &mut EventQueue<CoreEvent>,
+    ) -> Option<CloudOut> {
+        match e {
+            Emit::At(t, ev) => {
+                queue.schedule(t, CoreEvent::Mgmt(ev));
+                None
+            }
+            Emit::Done(_, r) | Emit::Failed(_, r) => {
+                if self.collect_trace {
+                    self.trace.push_task(&r);
+                }
+                if self.keep_task_reports {
+                    self.task_reports_kept.push(r.clone());
+                }
+                Some(self.director.on_task_report(now, &r, &mut self.plane))
+            }
+        }
+    }
+
+    fn route_stack(
+        &mut self,
+        now: SimTime,
+        stack: &mut Vec<CloudOut>,
+        queue: &mut EventQueue<CoreEvent>,
+    ) {
         while let Some(o) = stack.pop() {
             self.cloud_reports.extend(o.reports);
             for (t, vapp) in o.leases {
                 queue.schedule(t, CoreEvent::Lease(vapp));
             }
             for e in o.mgmt {
-                match e {
-                    Emit::At(t, ev) => queue.schedule(t, CoreEvent::Mgmt(ev)),
-                    Emit::Done(_, r) | Emit::Failed(_, r) => {
-                        if self.collect_trace {
-                            self.trace.push_task(&r);
-                        }
-                        if self.keep_task_reports {
-                            self.task_reports_kept.push(r.clone());
-                        }
-                        stack.push(self.director.on_task_report(now, &r, &mut self.plane));
-                    }
+                if let Some(child) = self.consume_emit(now, e, queue) {
+                    stack.push(child);
                 }
             }
         }
+    }
+
+    fn route(&mut self, now: SimTime, out: CloudOut, queue: &mut EventQueue<CoreEvent>) {
+        let mut stack = vec![out];
+        self.route_stack(now, &mut stack, queue);
+    }
+
+    /// Routes the plane emissions accumulated in `self.scratch`, leaving
+    /// the (emptied) buffer in place for the next event.
+    fn route_scratch(&mut self, now: SimTime, queue: &mut EventQueue<CoreEvent>) {
+        let mut emits = std::mem::take(&mut self.scratch);
+        let mut stack = Vec::new();
+        for e in emits.drain(..) {
+            if let Some(child) = self.consume_emit(now, e, queue) {
+                stack.push(child);
+            }
+        }
+        self.scratch = emits;
+        self.route_stack(now, &mut stack, queue);
     }
 
     fn submit_cloud(&mut self, now: SimTime, req: CloudRequest, queue: &mut EventQueue<CoreEvent>) {
@@ -71,12 +113,11 @@ impl CloudModel {
     }
 
     fn submit_op(&mut self, now: SimTime, op: OpKind, queue: &mut EventQueue<CoreEvent>) {
-        let emits = self.plane.submit(now, Operation::new(op));
-        let out = CloudOut {
-            mgmt: emits,
-            ..Default::default()
-        };
-        self.route(now, out, queue);
+        debug_assert!(self.scratch.is_empty());
+        let mut emits = std::mem::take(&mut self.scratch);
+        self.plane.submit(now, Operation::new(op), &mut emits);
+        self.scratch = emits;
+        self.route_scratch(now, queue);
     }
 }
 
@@ -86,12 +127,11 @@ impl Model for CloudModel {
     fn handle(&mut self, now: SimTime, event: CoreEvent, queue: &mut EventQueue<CoreEvent>) {
         match event {
             CoreEvent::Mgmt(ev) => {
-                let emits = self.plane.handle(now, ev);
-                let out = CloudOut {
-                    mgmt: emits,
-                    ..Default::default()
-                };
-                self.route(now, out, queue);
+                debug_assert!(self.scratch.is_empty());
+                let mut emits = std::mem::take(&mut self.scratch);
+                self.plane.handle(now, ev, &mut emits);
+                self.scratch = emits;
+                self.route_scratch(now, queue);
             }
             CoreEvent::Lease(vapp) => {
                 let out = self.director.on_lease_expiry(now, vapp, &mut self.plane);
@@ -160,6 +200,7 @@ impl CloudSim {
             datastores,
             templates,
             org,
+            scratch: Vec::new(),
         };
         let mut sim = Simulation::new(model);
         for e in init {

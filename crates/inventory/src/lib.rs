@@ -27,6 +27,7 @@ pub mod arena;
 pub mod entities;
 pub mod error;
 pub mod ids;
+mod index;
 mod model;
 
 pub use arena::Arena;

@@ -7,6 +7,7 @@ use crate::entities::{
 };
 use crate::error::InventoryError;
 use crate::ids::{DatastoreId, HostId, VmId};
+use crate::index::{OrdF64, PlacementIndex};
 
 /// Entity counts, used for heartbeat-load and placement-cost models that
 /// scale with inventory size.
@@ -33,6 +34,7 @@ pub struct Inventory {
     vms: Arena<VmId, Vm>,
     powered_on: usize,
     templates: usize,
+    index: PlacementIndex,
 }
 
 impl Inventory {
@@ -45,7 +47,11 @@ impl Inventory {
 
     /// Registers a new connected host.
     pub fn add_host(&mut self, spec: HostSpec) -> HostId {
-        self.hosts.insert(Host::new(spec))
+        let id = self.hosts.insert(Host::new(spec));
+        let h = self.hosts.get(id).expect("just inserted");
+        self.index
+            .host_added(id, (OrdF64(h.mem_utilization()), h.vms.len()));
+        id
     }
 
     /// Looks up a host.
@@ -88,6 +94,7 @@ impl Inventory {
                 d.hosts.retain(|h| *h != id);
             }
         }
+        self.index.host_removed(id, &host.datastores);
         Ok(host)
     }
 
@@ -100,7 +107,10 @@ impl Inventory {
 
     /// Registers a new datastore.
     pub fn add_datastore(&mut self, spec: DatastoreSpec) -> DatastoreId {
-        self.datastores.insert(Datastore::new(spec))
+        let id = self.datastores.insert(Datastore::new(spec));
+        let free = self.datastores.get(id).expect("just inserted").free_gb();
+        self.index.datastore_added(id, free);
+        id
     }
 
     /// Looks up a datastore.
@@ -135,6 +145,7 @@ impl Inventory {
         let d = self.datastores.get_mut(datastore).expect("checked");
         if !d.hosts.contains(&host) {
             d.hosts.push(host);
+            self.index.connected(host, datastore);
         }
         Ok(())
     }
@@ -159,6 +170,8 @@ impl Inventory {
             .get_mut(id)
             .ok_or(InventoryError::UnknownDatastore(id))?;
         d.used_gb = (d.used_gb + delta_gb).max(0.0);
+        let free = d.free_gb();
+        self.index.datastore_free_changed(id, free);
         Ok(())
     }
 
@@ -188,6 +201,7 @@ impl Inventory {
         }
         let id = self.vms.insert(Vm::new(name, spec, host, datastore));
         self.hosts.get_mut(host).expect("checked").vms.push(id);
+        self.reindex_host(host);
         Ok(id)
     }
 
@@ -258,6 +272,7 @@ impl Inventory {
         host.cpu_used_mhz += cpu;
         self.vms.get_mut(id).expect("checked").power = PowerState::On;
         self.powered_on += 1;
+        self.reindex_host(host_id);
         Ok(())
     }
 
@@ -272,6 +287,7 @@ impl Inventory {
         if let Some(host) = self.hosts.get_mut(host_id) {
             host.mem_used_mb = host.mem_used_mb.saturating_sub(mem);
             host.cpu_used_mhz = host.cpu_used_mhz.saturating_sub(cpu);
+            self.reindex_host(host_id);
         }
         self.vms.get_mut(id).expect("checked").power = PowerState::Off;
         self.powered_on -= 1;
@@ -291,6 +307,7 @@ impl Inventory {
         }
         if let Some(host) = self.hosts.get_mut(vm.host) {
             host.vms.retain(|v| *v != id);
+            self.reindex_host(vm.host);
         }
         Ok(vm)
     }
@@ -328,7 +345,37 @@ impl Inventory {
             h.cpu_used_mhz += cpu;
         }
         self.vms.get_mut(id).expect("checked").host = to_host;
+        self.reindex_host(from);
+        self.reindex_host(to_host);
         Ok(())
+    }
+
+    // ---- placement candidate queries ------------------------------------
+
+    /// Live datastores in most-free-space-first order (ties: lower id
+    /// first), with their free space. Maintained incrementally; O(1) to
+    /// reach the best candidate.
+    pub fn datastores_by_free(&self) -> impl Iterator<Item = (DatastoreId, f64)> + '_ {
+        self.index.datastores_by_free()
+    }
+
+    /// Hosts connected to `ds` in least-loaded-first order (memory
+    /// utilization, then registered-VM count, then id). Callers apply
+    /// their own eligibility filters (state, memory headroom, exclusions).
+    pub fn hosts_by_load(&self, ds: DatastoreId) -> impl Iterator<Item = HostId> + '_ {
+        self.index.hosts_by_load(ds)
+    }
+
+    /// Re-keys `host` in the load index after its utilization or VM count
+    /// changed. No-op for dead hosts.
+    fn reindex_host(&mut self, host: HostId) {
+        if let Some(h) = self.hosts.get(host) {
+            self.index.host_load_changed(
+                host,
+                (OrdF64(h.mem_utilization()), h.vms.len()),
+                &h.datastores,
+            );
+        }
     }
 
     // ---- aggregate queries ----------------------------------------------
@@ -389,6 +436,55 @@ impl Inventory {
                     "host {hid} mem accounting {} != sum of powered-on VMs {mem}",
                     host.mem_used_mb
                 ));
+            }
+        }
+        self.check_index_invariants()
+    }
+
+    /// Verifies that the placement index mirrors the arenas exactly.
+    fn check_index_invariants(&self) -> Result<(), String> {
+        let (keys, ordered) = self.index.datastore_entries();
+        if keys != self.datastores.len() || ordered != self.datastores.len() {
+            return Err(format!(
+                "datastore index size {keys}/{ordered} != {} live datastores",
+                self.datastores.len()
+            ));
+        }
+        for (id, ds) in self.datastores.iter() {
+            match self.index.ds_key(id) {
+                Some(free) if free == ds.free_gb() => {}
+                other => {
+                    return Err(format!(
+                        "datastore {id} indexed free {other:?} != actual {}",
+                        ds.free_gb()
+                    ))
+                }
+            }
+        }
+        if self.index.host_entries() != self.hosts.len() {
+            return Err(format!(
+                "host index size {} != {} live hosts",
+                self.index.host_entries(),
+                self.hosts.len()
+            ));
+        }
+        let connections: usize = self.hosts.iter().map(|(_, h)| h.datastores.len()).sum();
+        if self.index.connection_entries() != connections {
+            return Err(format!(
+                "host-load index has {} entries != {connections} connections",
+                self.index.connection_entries()
+            ));
+        }
+        for (id, host) in self.hosts.iter() {
+            match self.index.host_key(id) {
+                Some((util, vms)) if util == host.mem_utilization() && vms == host.vms.len() => {}
+                other => {
+                    return Err(format!(
+                        "host {id} indexed key {other:?} != actual ({}, {})",
+                        host.mem_utilization(),
+                        host.vms.len()
+                    ))
+                }
             }
         }
         Ok(())

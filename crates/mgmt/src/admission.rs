@@ -1,7 +1,17 @@
 //! Admission control: global / per-host / per-datastore concurrency limits
 //! and per-VM operation locks, with a FIFO pending queue.
+//!
+//! The pending queue is event-driven: each parked task records the first
+//! resource that blocked it, and a release only re-offers the tasks whose
+//! recorded blocker was actually freed. This is exact with respect to the
+//! naive "rescan everything in FIFO order" drain because acquisitions never
+//! free capacity — a task whose recorded blocker has not been released since
+//! it was recorded still cannot be admitted. Re-offered tasks are processed
+//! in arrival order merged across blockers, so the greedy FIFO admission
+//! semantics (and therefore every simulation trace) are unchanged; only the
+//! per-release cost drops from O(pending) to O(affected).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cpsim_des::SlotPool;
 use cpsim_inventory::{DatastoreId, HostId, TaskId, VmId};
@@ -68,6 +78,15 @@ enum VmLock {
     Shared(u32),
 }
 
+/// One concrete resource a parked task is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Blocker {
+    Global,
+    Host(HostId),
+    Datastore(DatastoreId),
+    Vm(VmId),
+}
+
 /// Admission control state.
 #[derive(Debug)]
 pub struct AdmissionControl {
@@ -76,7 +95,14 @@ pub struct AdmissionControl {
     per_host: BTreeMap<HostId, SlotPool>,
     per_ds: BTreeMap<DatastoreId, SlotPool>,
     vm_locks: BTreeMap<VmId, VmLock>,
-    pending: VecDeque<(TaskId, Scope)>,
+    /// Parked tasks keyed by arrival sequence; ascending key order is the
+    /// FIFO offer order. Each entry remembers the blocker it waits on.
+    pending: BTreeMap<u64, (TaskId, Scope, Blocker)>,
+    /// Reverse index: blocker -> arrival sequences of the tasks parked on it.
+    blocked_on: BTreeMap<Blocker, BTreeSet<u64>>,
+    /// Resources released since the last drain (dirty set).
+    freed: BTreeSet<Blocker>,
+    next_seq: u64,
     parked_total: u64,
     peak_pending: usize,
 }
@@ -90,7 +116,10 @@ impl AdmissionControl {
             per_host: BTreeMap::new(),
             per_ds: BTreeMap::new(),
             vm_locks: BTreeMap::new(),
-            pending: VecDeque::new(),
+            pending: BTreeMap::new(),
+            blocked_on: BTreeMap::new(),
+            freed: BTreeSet::new(),
+            next_seq: 0,
             parked_total: 0,
             peak_pending: 0,
         }
@@ -99,17 +128,17 @@ impl AdmissionControl {
     /// Attempts to acquire everything in `scope` atomically (all or
     /// nothing). On failure the caller should [`park`](Self::park).
     pub fn try_acquire(&mut self, scope: &Scope) -> bool {
-        if !self.can_acquire(scope) {
+        if self.first_blocker(scope).is_some() {
             return false;
         }
-        assert!(self.global.try_acquire(), "can_acquire said yes");
+        assert!(self.global.try_acquire(), "first_blocker said yes");
         for host in scope.host.iter().chain(scope.host2.iter()) {
             let ok = self
                 .per_host
                 .entry(*host)
                 .or_insert_with(|| SlotPool::new(self.limits.per_host))
                 .try_acquire();
-            assert!(ok, "can_acquire said yes");
+            assert!(ok, "first_blocker said yes");
         }
         if let Some(ds) = scope.datastore {
             let ok = self
@@ -117,11 +146,11 @@ impl AdmissionControl {
                 .entry(ds)
                 .or_insert_with(|| SlotPool::new(self.limits.per_datastore))
                 .try_acquire();
-            assert!(ok, "can_acquire said yes");
+            assert!(ok, "first_blocker said yes");
         }
         for vm in &scope.vms {
             let prev = self.vm_locks.insert(*vm, VmLock::Exclusive);
-            assert!(prev.is_none(), "can_acquire said yes");
+            assert!(prev.is_none(), "first_blocker said yes");
         }
         for vm in &scope.vms_shared {
             match self.vm_locks.get_mut(vm) {
@@ -129,17 +158,29 @@ impl AdmissionControl {
                     self.vm_locks.insert(*vm, VmLock::Shared(1));
                 }
                 Some(VmLock::Shared(n)) => *n += 1,
-                Some(VmLock::Exclusive) => unreachable!("can_acquire said yes"),
+                Some(VmLock::Exclusive) => unreachable!("first_blocker said yes"),
             }
         }
         true
     }
 
     /// Parks a task whose scope could not be acquired; it will be offered
-    /// again by [`release`](Self::release).
+    /// again by [`release`](Self::release) once its blocker frees up.
     pub fn park(&mut self, task: TaskId, scope: Scope) {
+        let blocker = match self.first_blocker(&scope) {
+            Some(b) => b,
+            None => {
+                // Defensive: a task parked while admissible must still be
+                // offered at the next drain, so mark its blocker dirty.
+                self.freed.insert(Blocker::Global);
+                Blocker::Global
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.blocked_on.entry(blocker).or_default().insert(seq);
+        self.pending.insert(seq, (task, scope, blocker));
         self.parked_total += 1;
-        self.pending.push_back((task, scope));
         self.peak_pending = self.peak_pending.max(self.pending.len());
     }
 
@@ -152,20 +193,24 @@ impl AdmissionControl {
     }
 
     /// Releases `scope` without draining (used when the releasing task
-    /// immediately acquires a new scope).
+    /// immediately acquires a new scope). The freed resources stay marked
+    /// dirty until the next drain.
     pub fn release_only(&mut self, scope: &Scope) {
         self.global.release();
+        self.freed.insert(Blocker::Global);
         for host in scope.host.iter().chain(scope.host2.iter()) {
             self.per_host
                 .get_mut(host)
                 .expect("releasing unheld host slot")
                 .release();
+            self.freed.insert(Blocker::Host(*host));
         }
         if let Some(ds) = scope.datastore {
             self.per_ds
                 .get_mut(&ds)
                 .expect("releasing unheld datastore slot")
                 .release();
+            self.freed.insert(Blocker::Datastore(ds));
         }
         for vm in &scope.vms {
             let removed = self.vm_locks.remove(vm);
@@ -174,6 +219,7 @@ impl AdmissionControl {
                 Some(VmLock::Exclusive),
                 "releasing unheld exclusive vm lock"
             );
+            self.freed.insert(Blocker::Vm(*vm));
         }
         for vm in &scope.vms_shared {
             match self.vm_locks.get_mut(vm) {
@@ -183,22 +229,85 @@ impl AdmissionControl {
                 }
                 other => panic!("releasing unheld shared vm lock: {other:?}"),
             }
+            self.freed.insert(Blocker::Vm(*vm));
         }
     }
 
-    /// Re-offers parked tasks in FIFO order; returns the admitted ones
-    /// with the scope each now holds.
+    /// Re-offers the parked tasks whose recorded blocker was freed since
+    /// the last drain, in FIFO order; returns the admitted ones with the
+    /// scope each now holds. Tasks whose blocker was not freed cannot be
+    /// admitted (acquisitions only consume capacity) and are not touched.
+    ///
+    /// The freed buckets are consumed through a lazy k-way merge in arrival
+    /// order (cross-blocker FIFO matters: admissions consume shared
+    /// resources). The moment a freed resource is exhausted again — usually
+    /// after the first admission takes it back — every remaining waiter in
+    /// its bucket must fail, so the whole bucket is skipped untouched. The
+    /// drain therefore costs O(admitted + re-recorded), not O(bucket).
     pub fn drain_pending(&mut self) -> Vec<(TaskId, Scope)> {
         let mut admitted = Vec::new();
-        let mut still_parked = VecDeque::new();
-        while let Some((task, scope)) = self.pending.pop_front() {
-            if self.try_acquire(&scope) {
-                admitted.push((task, scope));
-            } else {
-                still_parked.push_back((task, scope));
+        if self.pending.is_empty() {
+            self.freed.clear();
+            return admitted;
+        }
+        if self.freed.is_empty() {
+            return admitted;
+        }
+        let freed = std::mem::take(&mut self.freed);
+        // One cursor per freed blocker with waiters: the arrival sequence of
+        // the next waiter to offer from that bucket. Each pending task lives
+        // in exactly one bucket, so the merge visits no task twice.
+        let mut cursors: Vec<(u64, Blocker)> = Vec::with_capacity(freed.len());
+        for b in freed {
+            if let Some(&seq) = self.blocked_on.get(&b).and_then(|s| s.iter().next()) {
+                cursors.push((seq, b));
             }
         }
-        self.pending = still_parked;
+        while let Some(i) = cursors
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(seq, _))| seq)
+            .map(|(i, _)| i)
+        {
+            let (seq, blocker) = cursors[i];
+            if !self.blocker_available(blocker) {
+                // Zero free capacity: every waiter in this bucket needs at
+                // least one unit, so none can be admitted. They keep their
+                // recorded blocker and will be re-offered when it frees.
+                cursors.swap_remove(i);
+                continue;
+            }
+            let (_, scope, _) = self.pending.get(&seq).expect("blocked_on out of sync");
+            match self.first_blocker(scope) {
+                None => {
+                    let (task, scope, _) = self.pending.remove(&seq).expect("just looked up");
+                    Self::unindex(&mut self.blocked_on, blocker, seq);
+                    let ok = self.try_acquire(&scope);
+                    debug_assert!(ok, "first_blocker said admissible");
+                    admitted.push((task, scope));
+                }
+                Some(new_blocker) => {
+                    if new_blocker != blocker {
+                        // The freed resource has room but a deeper one is
+                        // exhausted; wait on that one instead so its release
+                        // (not this one's) re-offers the task.
+                        self.move_blocker(seq, blocker, new_blocker);
+                    }
+                }
+            }
+            // Advance this cursor past the visited task (it was admitted,
+            // re-recorded elsewhere, or legitimately left in place).
+            match self
+                .blocked_on
+                .get(&blocker)
+                .and_then(|s| s.range(seq + 1..).next())
+            {
+                Some(&next) => cursors[i].0 = next,
+                None => {
+                    cursors.swap_remove(i);
+                }
+            }
+        }
         admitted
     }
 
@@ -234,34 +343,89 @@ impl AdmissionControl {
         self.vm_locks.len()
     }
 
-    fn can_acquire(&self, scope: &Scope) -> bool {
+    fn unindex(blocked_on: &mut BTreeMap<Blocker, BTreeSet<u64>>, blocker: Blocker, seq: u64) {
+        if let Some(set) = blocked_on.get_mut(&blocker) {
+            set.remove(&seq);
+            if set.is_empty() {
+                blocked_on.remove(&blocker);
+            }
+        }
+    }
+
+    fn move_blocker(&mut self, seq: u64, from: Blocker, to: Blocker) {
+        Self::unindex(&mut self.blocked_on, from, seq);
+        self.blocked_on.entry(to).or_default().insert(seq);
+        if let Some(entry) = self.pending.get_mut(&seq) {
+            entry.2 = to;
+        }
+    }
+
+    /// Whether `b` has any capacity at all — i.e. whether *some* waiter
+    /// could conceivably pass it. A `false` answer lets the drain skip the
+    /// blocker's whole bucket: every waiter there needs at least one unit.
+    fn blocker_available(&self, b: Blocker) -> bool {
+        match b {
+            Blocker::Global => self.global.has_capacity(),
+            Blocker::Host(h) => self
+                .per_host
+                .get(&h)
+                .is_none_or(|p| p.in_use() < self.limits.per_host),
+            Blocker::Datastore(d) => self
+                .per_ds
+                .get(&d)
+                .is_none_or(|p| p.in_use() < self.limits.per_datastore),
+            // A shared lock still admits shared waiters, so only an
+            // exclusive lock makes the bucket hopeless.
+            Blocker::Vm(v) => !matches!(self.vm_locks.get(&v), Some(VmLock::Exclusive)),
+        }
+    }
+
+    fn host_has_room(&self, host: HostId, need: u32) -> bool {
+        let used = self.per_host.get(&host).map_or(0, |p| p.in_use());
+        used + need <= self.limits.per_host
+    }
+
+    /// The first exhausted resource `scope` needs, or `None` if the whole
+    /// scope can be acquired right now. Checks the dimensions in the same
+    /// order the acquisition path consumes them; any exhausted required
+    /// resource is a sound blocker to wait on.
+    fn first_blocker(&self, scope: &Scope) -> Option<Blocker> {
         if !self.global.has_capacity() {
-            return false;
+            return Some(Blocker::Global);
         }
         // Two hosts in one scope need two distinct slots (or two from the
         // same pool when equal).
-        let mut host_needs: BTreeMap<HostId, u32> = BTreeMap::new();
-        for host in scope.host.iter().chain(scope.host2.iter()) {
-            *host_needs.entry(*host).or_default() += 1;
-        }
-        for (host, need) in &host_needs {
-            let used = self.per_host.get(host).map_or(0, |p| p.in_use());
-            if used + need > self.limits.per_host {
-                return false;
+        match (scope.host, scope.host2) {
+            (Some(a), Some(b)) if a == b => {
+                if !self.host_has_room(a, 2) {
+                    return Some(Blocker::Host(a));
+                }
+            }
+            (a, b) => {
+                for host in a.iter().chain(b.iter()) {
+                    if !self.host_has_room(*host, 1) {
+                        return Some(Blocker::Host(*host));
+                    }
+                }
             }
         }
         if let Some(ds) = scope.datastore {
             let used = self.per_ds.get(&ds).map_or(0, |p| p.in_use());
             if used + 1 > self.limits.per_datastore {
-                return false;
+                return Some(Blocker::Datastore(ds));
             }
         }
-        if !scope.vms.iter().all(|vm| !self.vm_locks.contains_key(vm)) {
-            return false;
+        for vm in &scope.vms {
+            if self.vm_locks.contains_key(vm) {
+                return Some(Blocker::Vm(*vm));
+            }
         }
-        scope.vms_shared.iter().all(|vm| {
-            !matches!(self.vm_locks.get(vm), Some(VmLock::Exclusive)) && !scope.vms.contains(vm)
-        })
+        for vm in &scope.vms_shared {
+            if matches!(self.vm_locks.get(vm), Some(VmLock::Exclusive)) || scope.vms.contains(vm) {
+                return Some(Blocker::Vm(*vm));
+            }
+        }
+        None
     }
 }
 
@@ -386,6 +550,95 @@ mod tests {
         assert_eq!(admitted, vec![(t1, scope.clone())]);
         assert_eq!(ac.pending_len(), 1);
         assert_eq!(ac.peak_pending(), 2);
+    }
+
+    #[test]
+    fn drain_merges_fifo_order_across_blockers() {
+        // t1 (arrived first) parks on host B, t2 parks on host A, and both
+        // also need the last slot of a shared datastore. Releasing both
+        // hosts in one drain must admit t1, not t2 — even though host A
+        // sorts before host B in blocker order, arrival order wins.
+        let ha = HostId::from_parts(0, 1);
+        let hb = HostId::from_parts(1, 1);
+        let d = DatastoreId::from_parts(0, 1);
+        let (t1, t2) = (TaskId::from_parts(0, 1), TaskId::from_parts(1, 1));
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 10,
+            per_host: 1,
+            per_datastore: 2,
+        });
+        let holder_a = Scope::global_only().with_host(ha);
+        let holder_b = Scope::global_only().with_host(hb);
+        let ds_filler = Scope::global_only().with_datastore(d);
+        assert!(ac.try_acquire(&holder_a));
+        assert!(ac.try_acquire(&holder_b));
+        assert!(ac.try_acquire(&ds_filler));
+        let want_b = Scope::global_only().with_host(hb).with_datastore(d);
+        let want_a = Scope::global_only().with_host(ha).with_datastore(d);
+        ac.park(t1, want_b.clone()); // blocked on host B
+        ac.park(t2, want_a.clone()); // blocked on host A
+                                     // Free both hosts; only one datastore slot remains, so only one of
+                                     // the two waiters can go — it must be t1.
+        ac.release_only(&holder_a);
+        let admitted = ac.release(&holder_b);
+        assert_eq!(admitted, vec![(t1, want_b)]);
+        assert_eq!(ac.pending_len(), 1);
+    }
+
+    #[test]
+    fn parked_task_re_records_deeper_blocker() {
+        // A task blocked on a host gets rechecked when the host frees but
+        // then waits on the datastore; freeing the datastore admits it.
+        let (h, ds, _vm, t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 10,
+            per_host: 1,
+            per_datastore: 1,
+        });
+        let host_holder = Scope::global_only().with_host(h);
+        let ds_holder = Scope::global_only().with_datastore(ds);
+        assert!(ac.try_acquire(&host_holder));
+        assert!(ac.try_acquire(&ds_holder));
+        let want = Scope::global_only().with_host(h).with_datastore(ds);
+        assert!(!ac.try_acquire(&want));
+        ac.park(t1, want.clone());
+        // Freeing the host is not enough: the datastore still blocks.
+        assert!(ac.release(&host_holder).is_empty());
+        assert_eq!(ac.pending_len(), 1);
+        // Freeing the datastore now admits the waiter.
+        let admitted = ac.release(&ds_holder);
+        assert_eq!(admitted, vec![(t1, want)]);
+        assert_eq!(ac.pending_len(), 0);
+    }
+
+    #[test]
+    fn global_exhaustion_reparks_waiters_on_global() {
+        // While the global pool is exhausted, freed per-resource waiters
+        // re-park on the global blocker and are admitted once a global
+        // slot opens.
+        let (h, _ds, _vm, t1, _t2) = ids();
+        let mut ac = AdmissionControl::new(AdmissionLimits {
+            global: 3,
+            per_host: 1,
+            per_datastore: 8,
+        });
+        let host_holder = Scope::global_only().with_host(h);
+        let filler = Scope::global_only();
+        assert!(ac.try_acquire(&host_holder));
+        assert!(ac.try_acquire(&filler));
+        // Global still has room, so the waiter records the host blocker.
+        let want = Scope::global_only().with_host(h);
+        ac.park(t1, want.clone());
+        // Free the host while simultaneously exhausting the global pool:
+        // release the host holder, then consume two global slots before
+        // draining.
+        ac.release_only(&host_holder);
+        assert!(ac.try_acquire(&filler));
+        assert!(ac.try_acquire(&filler));
+        assert!(ac.drain_pending().is_empty(), "global pool is exhausted");
+        // A plain global release now admits the waiter.
+        let admitted = ac.release(&filler);
+        assert_eq!(admitted, vec![(t1, want)]);
     }
 
     #[test]

@@ -36,14 +36,16 @@
 //!     .unwrap();
 //!
 //! // Drive to completion by hand (the cpsim crate does this on the DES).
-//! let mut pending: Vec<Emit> = plane.submit(
+//! let mut pending: Vec<Emit> = Vec::new();
+//! plane.submit(
 //!     SimTime::ZERO,
 //!     OpKind::CloneVm { source: template, mode: CloneMode::Linked },
+//!     &mut pending,
 //! );
 //! let mut done = 0;
 //! while let Some(emit) = pending.pop() {
 //!     match emit {
-//!         Emit::At(t, ev) => pending.extend(plane.handle(t, ev)),
+//!         Emit::At(t, ev) => pending.extend(plane.handle_collect(t, ev)),
 //!         Emit::Done(_, report) => {
 //!             done += 1;
 //!             assert!(report.latency.as_secs_f64() > 0.0);

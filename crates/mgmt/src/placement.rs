@@ -2,9 +2,14 @@
 //! migration targets.
 //!
 //! Placement is a control-plane cost center: the real system scans the
-//! inventory to score candidates, so our CPU charge grows linearly with
-//! host count (see `ControlCostModel::placement_per_host_us`). The policy
-//! itself is deliberately simple and deterministic.
+//! inventory to score candidates, so our *simulated* CPU charge grows
+//! linearly with host count (see `ControlCostModel::placement_per_host_us`).
+//! The wall-clock cost of deciding, however, is sublinear: the inventory
+//! maintains candidate indexes (datastores by free space, hosts by load)
+//! so a decision is a bounded walk from the best candidate rather than a
+//! full scan. The policy itself is deliberately simple and deterministic,
+//! and the indexed path is property-tested against the straightforward
+//! scan (`place_reference`) it replaced.
 
 use cpsim_inventory::{DatastoreId, HostId, Inventory, VmId};
 use cpsim_storage::TemplateResidency;
@@ -59,6 +64,103 @@ impl Placer {
         mem_mb: u64,
         prefer_resident: Option<VmId>,
     ) -> Option<(HostId, DatastoreId)> {
+        // Resident pass: a template lives on a handful of datastores at
+        // most, so sorting its residency list is cheap. Order matches the
+        // index: most free space first, lower id on ties.
+        if let Some(t) = prefer_resident {
+            let mut resident: Vec<(DatastoreId, f64)> = residency
+                .locations(t)
+                .filter_map(|ds_id| {
+                    let ds = inv.datastore(ds_id)?;
+                    (ds.free_gb() >= disk_gb && !ds.hosts.is_empty()).then(|| (ds_id, ds.free_gb()))
+                })
+                .collect();
+            resident.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (ds, _) in resident {
+                if let Some(host) = self.pick_host(inv, ds, mem_mb, None) {
+                    return Some((host, ds));
+                }
+            }
+        }
+        // General pass: walk datastores most-free-first straight off the
+        // index; once one is too small, all remaining ones are too. A
+        // resident datastore that failed the host pick above is skipped —
+        // retrying it cannot succeed.
+        for (ds, free) in inv.datastores_by_free() {
+            if free < disk_gb {
+                break;
+            }
+            if matches!(prefer_resident, Some(t) if residency.is_resident(t, ds)) {
+                continue;
+            }
+            if let Some(host) = self.pick_host(inv, ds, mem_mb, None) {
+                return Some((host, ds));
+            }
+        }
+        None
+    }
+
+    /// Chooses a migration destination for a VM on `exclude` needing
+    /// `mem_mb`, reachable from `ds`.
+    pub fn pick_host(
+        &mut self,
+        inv: &Inventory,
+        ds: DatastoreId,
+        mem_mb: u64,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let eligible = |h: HostId| {
+            Some(h) != exclude
+                && inv
+                    .host(h)
+                    .map(|host| host.accepts_placements() && host.mem_free_mb() >= mem_mb)
+                    .unwrap_or(false)
+        };
+        match self.policy {
+            // The index iterates hosts in (memory pressure, registered-VM
+            // count, id) order — the first eligible one is the least
+            // loaded. The VM-count tiebreak matters: without it, a fleet
+            // of powered-off VMs would all pile onto the lowest host id.
+            PlacementPolicy::LeastLoaded => inv.hosts_by_load(ds).find(|&h| eligible(h)),
+            // Round-robin depends on the datastore's connection order, not
+            // load order, so it scans the connection list directly.
+            PlacementPolicy::RoundRobin => {
+                let candidates: Vec<HostId> = inv
+                    .datastore(ds)?
+                    .hosts
+                    .iter()
+                    .copied()
+                    .filter(|&h| eligible(h))
+                    .collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                let pick = candidates[self.round_robin_cursor % candidates.len()];
+                self.round_robin_cursor = self.round_robin_cursor.wrapping_add(1);
+                Some(pick)
+            }
+        }
+    }
+
+    /// Placement CPU cost in seconds for an inventory of `hosts` hosts.
+    pub fn cost_secs(base_secs: f64, per_host_us: f64, hosts: usize) -> f64 {
+        base_secs + per_host_us * 1e-6 * hosts as f64
+    }
+}
+
+#[cfg(test)]
+impl Placer {
+    /// The pre-index placement algorithm: a full scan over every
+    /// datastore, kept as the reference oracle the indexed path is
+    /// property-tested against.
+    pub fn place_reference(
+        &mut self,
+        inv: &Inventory,
+        residency: &TemplateResidency,
+        disk_gb: f64,
+        mem_mb: u64,
+        prefer_resident: Option<VmId>,
+    ) -> Option<(HostId, DatastoreId)> {
         // Candidate datastores with space, split into resident-preferred
         // and the rest.
         let mut resident: Vec<(DatastoreId, f64)> = Vec::new();
@@ -73,33 +175,23 @@ impl Placer {
             };
             bucket.push((ds_id, ds.free_gb()));
         }
-        let pick_ds = |list: &[(DatastoreId, f64)]| -> Option<DatastoreId> {
-            list.iter()
-                .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("free space is finite")
-                        .then_with(|| b.0.cmp(&a.0)) // lower id wins ties
-                })
-                .map(|(id, _)| *id)
-        };
         // Try resident datastores first, then any; a resident datastore
-        // might have no eligible host, so fall through.
-        for ds_candidates in [&resident, &others] {
-            let mut list = ds_candidates.clone();
-            while !list.is_empty() {
-                let ds = pick_ds(&list).expect("non-empty");
-                if let Some(host) = self.pick_host(inv, ds, mem_mb, None) {
+        // might have no eligible host, so fall through in preference
+        // order (most free space, lower id on ties).
+        for list in [&mut resident, &mut others] {
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for &(ds, _) in list.iter() {
+                if let Some(host) = self.pick_host_reference(inv, ds, mem_mb, None) {
                     return Some((host, ds));
                 }
-                list.retain(|(id, _)| *id != ds);
             }
         }
         None
     }
 
-    /// Chooses a migration destination for a VM on `exclude` needing
-    /// `mem_mb`, reachable from `ds`.
-    pub fn pick_host(
+    /// The pre-index host pick: collect-then-scan over the datastore's
+    /// connection list.
+    pub fn pick_host_reference(
         &mut self,
         inv: &Inventory,
         ds: DatastoreId,
@@ -127,12 +219,8 @@ impl Placer {
                     inv.host(*a).expect("filtered"),
                     inv.host(*b).expect("filtered"),
                 );
-                // Memory pressure first; among equally-loaded hosts,
-                // spread by registered-VM count (without this, a fleet of
-                // powered-off VMs would all pile onto the lowest host id).
                 ha.mem_utilization()
-                    .partial_cmp(&hb.mem_utilization())
-                    .expect("utilization is finite")
+                    .total_cmp(&hb.mem_utilization())
                     .then_with(|| ha.vms.len().cmp(&hb.vms.len()))
                     .then_with(|| a.cmp(b))
             }),
@@ -142,11 +230,6 @@ impl Placer {
                 Some(pick)
             }
         }
-    }
-
-    /// Placement CPU cost in seconds for an inventory of `hosts` hosts.
-    pub fn cost_secs(base_secs: f64, per_host_us: f64, hosts: usize) -> f64 {
-        base_secs + per_host_us * 1e-6 * hosts as f64
     }
 }
 
@@ -260,5 +343,179 @@ mod tests {
         let c1024 = Placer::cost_secs(0.010, 200.0, 1024);
         assert!((c64 - 0.0228).abs() < 1e-9);
         assert!(c1024 > 4.0 * c64);
+    }
+
+    mod equivalence {
+        //! The indexed placement path must decide exactly what the full
+        //! scan it replaced decides, across random inventories, residency
+        //! maps, and capacity churn.
+
+        use super::*;
+        use cpsim_inventory::DiskId;
+        use proptest::prelude::*;
+
+        #[derive(Clone, Debug)]
+        enum Churn {
+            AddHost {
+                mem_gb: u8,
+            },
+            AddDatastore {
+                cap: u8,
+            },
+            Connect {
+                h: usize,
+                d: usize,
+            },
+            CreateVm {
+                h: usize,
+                d: usize,
+                mem_gb: u8,
+                disk: u8,
+            },
+            PowerOn {
+                v: usize,
+            },
+            PowerOff {
+                v: usize,
+            },
+            Destroy {
+                v: usize,
+            },
+            AdjustDs {
+                d: usize,
+                delta: i8,
+            },
+            SeedResidency {
+                v: usize,
+                d: usize,
+            },
+        }
+
+        fn churn_strategy() -> impl Strategy<Value = Churn> {
+            prop_oneof![
+                (1u8..64).prop_map(|mem_gb| Churn::AddHost { mem_gb }),
+                (1u8..100).prop_map(|cap| Churn::AddDatastore { cap }),
+                ((0usize..8), (0usize..8)).prop_map(|(h, d)| Churn::Connect { h, d }),
+                ((0usize..8), (0usize..8), (1u8..32), (1u8..40))
+                    .prop_map(|(h, d, mem_gb, disk)| Churn::CreateVm { h, d, mem_gb, disk }),
+                (0usize..32).prop_map(|v| Churn::PowerOn { v }),
+                (0usize..32).prop_map(|v| Churn::PowerOff { v }),
+                (0usize..32).prop_map(|v| Churn::Destroy { v }),
+                ((0usize..8), (-50i8..50)).prop_map(|(d, delta)| Churn::AdjustDs { d, delta }),
+                ((0usize..32), (0usize..8)).prop_map(|(v, d)| Churn::SeedResidency { v, d }),
+            ]
+        }
+
+        fn query_strategy() -> impl Strategy<Value = (u8, u8, usize)> {
+            // (disk_gb, mem_gb, prefer-resident pick: 0 = none, else vm
+            // index + 1)
+            ((1u8..50), (1u8..48), (0usize..16))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 48,
+                .. ProptestConfig::default()
+            })]
+
+            #[test]
+            fn indexed_place_matches_reference_scan(
+                ops in proptest::collection::vec(churn_strategy(), 1..100),
+                queries in proptest::collection::vec(query_strategy(), 1..24),
+            ) {
+                let mut inv = Inventory::new();
+                let mut residency = TemplateResidency::new();
+                let mut hosts: Vec<HostId> = Vec::new();
+                let mut dss: Vec<DatastoreId> = Vec::new();
+                let mut vms: Vec<VmId> = Vec::new();
+                let mut seeded = 0u32;
+                for op in ops {
+                    match op {
+                        Churn::AddHost { mem_gb } => {
+                            hosts.push(inv.add_host(HostSpec::new(
+                                format!("h{}", hosts.len()),
+                                8_000,
+                                u64::from(mem_gb) * 1024,
+                            )));
+                        }
+                        Churn::AddDatastore { cap } => {
+                            dss.push(inv.add_datastore(DatastoreSpec::new(
+                                format!("ds{}", dss.len()),
+                                f64::from(cap) * 10.0,
+                                50.0,
+                            )));
+                        }
+                        Churn::Connect { h, d } => {
+                            if let (Some(&h), Some(&d)) = (hosts.get(h), dss.get(d)) {
+                                let _ = inv.connect_host_datastore(h, d);
+                            }
+                        }
+                        Churn::CreateVm { h, d, mem_gb, disk } => {
+                            if let (Some(&h), Some(&d)) = (hosts.get(h), dss.get(d)) {
+                                if let Ok(vm) = inv.create_vm(
+                                    format!("vm{}", vms.len()),
+                                    VmSpec::new(2, u64::from(mem_gb) * 1024, f64::from(disk)),
+                                    h,
+                                    d,
+                                ) {
+                                    vms.push(vm);
+                                }
+                            }
+                        }
+                        Churn::PowerOn { v } => {
+                            if let Some(&vm) = vms.get(v) {
+                                let _ = inv.power_on(vm);
+                            }
+                        }
+                        Churn::PowerOff { v } => {
+                            if let Some(&vm) = vms.get(v) {
+                                let _ = inv.power_off(vm);
+                            }
+                        }
+                        Churn::Destroy { v } => {
+                            if let Some(&vm) = vms.get(v) {
+                                let _ = inv.destroy_vm(vm);
+                            }
+                        }
+                        Churn::AdjustDs { d, delta } => {
+                            if let Some(&d) = dss.get(d) {
+                                let _ = inv.adjust_datastore_usage(d, f64::from(delta));
+                            }
+                        }
+                        Churn::SeedResidency { v, d } => {
+                            if let (Some(&vm), Some(&d)) = (vms.get(v), dss.get(d)) {
+                                seeded += 1;
+                                residency.seed(vm, d, DiskId::from_parts(seeded, 1));
+                            }
+                        }
+                    }
+                }
+                inv.check_invariants().expect("index in sync after churn");
+
+                for policy in [PlacementPolicy::LeastLoaded, PlacementPolicy::RoundRobin] {
+                    // Separate placers so round-robin cursors advance
+                    // independently; equal decisions keep them in lockstep.
+                    let mut indexed = Placer::new(policy);
+                    let mut reference = Placer::new(policy);
+                    for &(disk, mem_gb, prefer) in &queries {
+                        let template = match prefer {
+                            0 => None,
+                            i => vms.get(i - 1).copied(),
+                        };
+                        let disk_gb = f64::from(disk);
+                        let mem_mb = u64::from(mem_gb) * 1024;
+                        let got =
+                            indexed.place(&inv, &residency, disk_gb, mem_mb, template);
+                        let want = reference
+                            .place_reference(&inv, &residency, disk_gb, mem_mb, template);
+                        prop_assert_eq!(
+                            got, want,
+                            "policy {:?}, disk {} mem {} template {:?}",
+                            policy, disk_gb, mem_mb, template
+                        );
+                    }
+                }
+            }
+        }
     }
 }

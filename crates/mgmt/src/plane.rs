@@ -393,15 +393,33 @@ impl ControlPlane {
 
     // ---- event handling --------------------------------------------------
 
-    /// Submits an operation at `now`. Equivalent to handling
-    /// [`MgmtEvent::Submit`].
-    pub fn submit(&mut self, now: SimTime, kind: impl Into<Operation>) -> Vec<Emit> {
-        self.handle(now, MgmtEvent::Submit(kind.into()))
+    /// Submits an operation at `now`, appending follow-up emissions to
+    /// `out`. Equivalent to handling [`MgmtEvent::Submit`].
+    ///
+    /// `out` is caller-owned so the driver can reuse one scratch buffer
+    /// across every event instead of allocating per dispatch.
+    pub fn submit(&mut self, now: SimTime, kind: impl Into<Operation>, out: &mut Vec<Emit>) {
+        self.handle(now, MgmtEvent::Submit(kind.into()), out);
     }
 
-    /// Processes one event, returning follow-up emissions.
-    pub fn handle(&mut self, now: SimTime, event: MgmtEvent) -> Vec<Emit> {
+    /// [`submit`](Self::submit) into a freshly allocated buffer
+    /// (convenience for tests and examples; the hot path reuses one).
+    pub fn submit_collect(&mut self, now: SimTime, kind: impl Into<Operation>) -> Vec<Emit> {
         let mut out = Vec::new();
+        self.submit(now, kind, &mut out);
+        out
+    }
+
+    /// [`handle`](Self::handle) into a freshly allocated buffer
+    /// (convenience for tests and examples; the hot path reuses one).
+    pub fn handle_collect(&mut self, now: SimTime, event: MgmtEvent) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.handle(now, event, &mut out);
+        out
+    }
+
+    /// Processes one event, appending follow-up emissions to `out`.
+    pub fn handle(&mut self, now: SimTime, event: MgmtEvent, out: &mut Vec<Emit>) {
         match event {
             MgmtEvent::Submit(op) => {
                 self.stats.on_submitted(op.kind.name());
@@ -420,7 +438,7 @@ impl ControlPlane {
                 let mut task = Task::new(op, now);
                 task.target_vm = target_vm;
                 let tid = self.tasks.insert(task);
-                self.advance(now, tid, &mut out);
+                self.advance(now, tid, out);
             }
             MgmtEvent::CpuDone(job) => {
                 if let Owner::Task(tid) = job.owner {
@@ -436,7 +454,7 @@ impl ControlPlane {
                     ));
                 }
                 if let Owner::Task(tid) = job.owner {
-                    self.advance(now, tid, &mut out);
+                    self.advance(now, tid, out);
                 }
             }
             MgmtEvent::DbDone(job) => {
@@ -453,7 +471,7 @@ impl ControlPlane {
                     ));
                 }
                 if let Owner::Task(tid) = job.owner {
-                    self.advance(now, tid, &mut out);
+                    self.advance(now, tid, out);
                 }
             }
             MgmtEvent::AgentDone {
@@ -466,7 +484,7 @@ impl ControlPlane {
                 if epoch != self.agents.epoch(host) {
                     // Scheduled before the host crashed: the primitive was
                     // lost and the task already took the failure path.
-                    return out;
+                    return;
                 }
                 if let Some(t) = self.tasks.get_mut(task) {
                     t.charge(
@@ -498,10 +516,10 @@ impl ControlPlane {
                         now,
                         task,
                         format!("host agent timed out during {}", primitive.name()),
-                        &mut out,
+                        out,
                     );
                 } else {
-                    self.advance(now, task, &mut out);
+                    self.advance(now, task, out);
                 }
             }
             MgmtEvent::TransferTick { datastore, epoch } => {
@@ -525,22 +543,21 @@ impl ControlPlane {
                                     now.since(started).as_secs_f64(),
                                 );
                             }
-                            self.advance(now, owner.task, &mut out);
+                            self.advance(now, owner.task, out);
                         }
                     }
                 }
             }
             MgmtEvent::Heartbeat { slot } => {
-                self.on_heartbeat(now, slot, &mut out);
+                self.on_heartbeat(now, slot, out);
             }
             MgmtEvent::Fault(kind) => {
-                self.on_fault(now, kind, &mut out);
+                self.on_fault(now, kind, out);
             }
             MgmtEvent::Retry { task } => {
-                self.advance(now, task, &mut out);
+                self.advance(now, task, out);
             }
         }
-        out
     }
 
     fn on_heartbeat(&mut self, now: SimTime, slot: usize, out: &mut Vec<Emit>) {

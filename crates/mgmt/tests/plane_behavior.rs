@@ -30,7 +30,7 @@ fn drive(plane: &mut ControlPlane, seed_emits: Vec<Emit>, horizon: SimTime) -> V
         }
         guard += 1;
         assert!(guard < 5_000_000, "event storm: runaway simulation");
-        let emits = plane.handle(t, ev);
+        let emits = plane.handle_collect(t, ev);
         sink(emits, &mut queue, &mut reports);
     }
     reports
@@ -79,7 +79,7 @@ const FAR: SimTime = SimTime::from_hours(24);
 #[test]
 fn full_clone_is_data_bound_linked_clone_is_control_bound() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -94,7 +94,7 @@ fn full_clone_is_data_bound_linked_clone_is_control_bound() {
     assert!(full.data_secs > 150.0, "data {:.1}s", full.data_secs);
     assert!(full.data_secs > 10.0 * full.control_secs());
 
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO + cpsim_des::SimDuration::from_hours(1),
         OpKind::CloneVm {
             source: r.template,
@@ -137,7 +137,7 @@ fn linked_clone_on_nonresident_datastore_makes_shadow_then_reuses_it() {
     }
     assert!(r.plane.inventory().datastore(ds0).unwrap().free_gb() < 1.0);
 
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -155,7 +155,7 @@ fn linked_clone_on_nonresident_datastore_makes_shadow_then_reuses_it() {
     assert!(r.plane.residency().is_resident(r.template, ds1));
 
     // Second linked clone on ds1 reuses the shadow: near-zero data.
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::from_hours(1),
         OpKind::CloneVm {
             source: r.template,
@@ -176,7 +176,7 @@ fn instant_clone_lands_on_parent_host_with_no_data() {
     let mut r = rig();
     let src_host = r.plane.inventory().vm(r.template).unwrap().host;
     let src_ds = r.plane.inventory().vm(r.template).unwrap().datastore;
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -198,7 +198,7 @@ fn instant_clone_lands_on_parent_host_with_no_data() {
     // Destroying the fork leaves the parent's disk intact.
     let emits = r
         .plane
-        .submit(SimTime::from_hours(1), OpKind::DestroyVm { vm });
+        .submit_collect(SimTime::from_hours(1), OpKind::DestroyVm { vm });
     let del = drive(&mut r.plane, emits, FAR);
     assert!(del[0].is_success());
     r.plane
@@ -212,7 +212,7 @@ fn instant_clone_lands_on_parent_host_with_no_data() {
 fn seed_template_makes_remote_linked_clones_cheap() {
     let mut r = rig();
     let ds1 = r.datastores[1];
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::SeedTemplate {
             template: r.template,
@@ -223,7 +223,7 @@ fn seed_template_makes_remote_linked_clones_cheap() {
     assert!(seeded[0].is_success(), "{:?}", seeded[0].error);
     assert!(r.plane.residency().is_resident(r.template, ds1));
     // Seeding again fails cleanly.
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::from_hours(2),
         OpKind::SeedTemplate {
             template: r.template,
@@ -237,7 +237,7 @@ fn seed_template_makes_remote_linked_clones_cheap() {
 #[test]
 fn power_cycle_updates_inventory_and_reservations() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -249,7 +249,7 @@ fn power_cycle_updates_inventory_and_reservations() {
 
     let emits = r
         .plane
-        .submit(SimTime::from_hours(1), OpKind::PowerOn { vm });
+        .submit_collect(SimTime::from_hours(1), OpKind::PowerOn { vm });
     let on = drive(&mut r.plane, emits, FAR);
     assert!(on[0].is_success(), "{:?}", on[0].error);
     assert_eq!(r.plane.inventory().vm(vm).unwrap().power, PowerState::On);
@@ -258,7 +258,7 @@ fn power_cycle_updates_inventory_and_reservations() {
 
     let emits = r
         .plane
-        .submit(SimTime::from_hours(2), OpKind::PowerOff { vm });
+        .submit_collect(SimTime::from_hours(2), OpKind::PowerOff { vm });
     let off = drive(&mut r.plane, emits, FAR);
     assert!(off[0].is_success());
     assert_eq!(r.plane.inventory().vm(vm).unwrap().power, PowerState::Off);
@@ -268,7 +268,7 @@ fn power_cycle_updates_inventory_and_reservations() {
 #[test]
 fn destroy_powered_on_vm_fails_and_destroy_off_vm_releases_storage() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -278,23 +278,23 @@ fn destroy_powered_on_vm_fails_and_destroy_off_vm_releases_storage() {
     let vm = drive(&mut r.plane, emits, FAR)[0].produced_vm.unwrap();
     let emits = r
         .plane
-        .submit(SimTime::from_hours(1), OpKind::PowerOn { vm });
+        .submit_collect(SimTime::from_hours(1), OpKind::PowerOn { vm });
     drive(&mut r.plane, emits, FAR);
 
     let emits = r
         .plane
-        .submit(SimTime::from_hours(2), OpKind::DestroyVm { vm });
+        .submit_collect(SimTime::from_hours(2), OpKind::DestroyVm { vm });
     let fail = drive(&mut r.plane, emits, FAR);
     assert!(!fail[0].is_success());
 
     let emits = r
         .plane
-        .submit(SimTime::from_hours(3), OpKind::PowerOff { vm });
+        .submit_collect(SimTime::from_hours(3), OpKind::PowerOff { vm });
     drive(&mut r.plane, emits, FAR);
     let before = r.plane.inventory().counts().vms;
     let emits = r
         .plane
-        .submit(SimTime::from_hours(4), OpKind::DestroyVm { vm });
+        .submit_collect(SimTime::from_hours(4), OpKind::DestroyVm { vm });
     let ok = drive(&mut r.plane, emits, FAR);
     assert!(ok[0].is_success(), "{:?}", ok[0].error);
     assert_eq!(r.plane.inventory().counts().vms, before - 1);
@@ -336,7 +336,10 @@ fn per_host_limit_caps_concurrency_but_everything_completes() {
     }
     let mut emits = Vec::new();
     for &vm in &vms {
-        emits.extend(r.plane.submit(SimTime::ZERO, OpKind::Reconfigure { vm }));
+        emits.extend(
+            r.plane
+                .submit_collect(SimTime::ZERO, OpKind::Reconfigure { vm }),
+        );
     }
     let reports = drive(&mut r.plane, emits, FAR);
     assert_eq!(reports.len(), 12);
@@ -354,7 +357,7 @@ fn per_host_limit_caps_concurrency_but_everything_completes() {
 #[test]
 fn vm_lock_serializes_operations_on_one_vm() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -364,13 +367,12 @@ fn vm_lock_serializes_operations_on_one_vm() {
     let vm = drive(&mut r.plane, emits, FAR)[0].produced_vm.unwrap();
 
     let mut emits = Vec::new();
-    emits.extend(
-        r.plane
-            .submit(SimTime::from_hours(1), OpKind::Snapshot { vm }),
-    );
-    emits.extend(
-        r.plane
-            .submit(SimTime::from_hours(1), OpKind::Reconfigure { vm }),
+    r.plane
+        .submit(SimTime::from_hours(1), OpKind::Snapshot { vm }, &mut emits);
+    r.plane.submit(
+        SimTime::from_hours(1),
+        OpKind::Reconfigure { vm },
+        &mut emits,
     );
     let reports = drive(&mut r.plane, emits, FAR);
     assert_eq!(reports.len(), 2);
@@ -386,7 +388,7 @@ fn vm_lock_serializes_operations_on_one_vm() {
 #[test]
 fn snapshot_then_remove_consolidates_with_merge_transfer() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -398,7 +400,7 @@ fn snapshot_then_remove_consolidates_with_merge_transfer() {
     let disks_before = r.plane.inventory().vm(vm).unwrap().disks.clone();
     let emits = r
         .plane
-        .submit(SimTime::from_hours(1), OpKind::Snapshot { vm });
+        .submit_collect(SimTime::from_hours(1), OpKind::Snapshot { vm });
     let snap = drive(&mut r.plane, emits, FAR);
     assert!(snap[0].is_success(), "{:?}", snap[0].error);
     let top = *r.plane.inventory().vm(vm).unwrap().disks.last().unwrap();
@@ -407,7 +409,7 @@ fn snapshot_then_remove_consolidates_with_merge_transfer() {
 
     let emits = r
         .plane
-        .submit(SimTime::from_hours(2), OpKind::RemoveSnapshot { vm });
+        .submit_collect(SimTime::from_hours(2), OpKind::RemoveSnapshot { vm });
     let rm = drive(&mut r.plane, emits, FAR);
     assert!(rm[0].is_success(), "{:?}", rm[0].error);
     assert!(rm[0].data_secs > 0.0, "merge moves the delta's bytes");
@@ -418,7 +420,7 @@ fn snapshot_then_remove_consolidates_with_merge_transfer() {
 #[test]
 fn remove_snapshot_without_snapshot_fails() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -428,7 +430,7 @@ fn remove_snapshot_without_snapshot_fails() {
     let vm = drive(&mut r.plane, emits, FAR)[0].produced_vm.unwrap();
     let emits = r
         .plane
-        .submit(SimTime::from_hours(1), OpKind::RemoveSnapshot { vm });
+        .submit_collect(SimTime::from_hours(1), OpKind::RemoveSnapshot { vm });
     let rm = drive(&mut r.plane, emits, FAR);
     assert!(!rm[0].is_success());
 }
@@ -436,7 +438,7 @@ fn remove_snapshot_without_snapshot_fails() {
 #[test]
 fn migrate_moves_vm_between_hosts() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -447,7 +449,7 @@ fn migrate_moves_vm_between_hosts() {
     let src_host = r.plane.inventory().vm(vm).unwrap().host;
     let emits = r
         .plane
-        .submit(SimTime::from_hours(1), OpKind::MigrateVm { vm });
+        .submit_collect(SimTime::from_hours(1), OpKind::MigrateVm { vm });
     let mig = drive(&mut r.plane, emits, FAR);
     assert!(mig[0].is_success(), "{:?}", mig[0].error);
     let dst_host = r.plane.inventory().vm(vm).unwrap().host;
@@ -457,7 +459,7 @@ fn migrate_moves_vm_between_hosts() {
 #[test]
 fn relocate_moves_storage_with_byte_proportional_cost() {
     let mut r = rig();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::CloneVm {
             source: r.template,
@@ -467,7 +469,7 @@ fn relocate_moves_storage_with_byte_proportional_cost() {
     let vm = drive(&mut r.plane, emits, FAR)[0].produced_vm.unwrap();
     let src_ds = r.plane.inventory().vm(vm).unwrap().datastore;
     let dst_ds = *r.datastores.iter().find(|d| **d != src_ds).unwrap();
-    let emits = r.plane.submit(
+    let emits = r.plane.submit_collect(
         SimTime::from_hours(1),
         OpKind::RelocateVm { vm, dst: dst_ds },
     );
@@ -503,7 +505,7 @@ fn add_host_grows_inventory_and_schedules_heartbeats() {
     cfg.heartbeat = cpsim_hostagent::HeartbeatSpec::default();
     let before = r.plane.inventory().counts().hosts;
     let mut emits = r.plane.init_events();
-    emits.extend(r.plane.submit(
+    emits.extend(r.plane.submit_collect(
         SimTime::ZERO,
         OpKind::AddHost {
             spec: HostSpec::new("h-new", 48_000, 262_144),

@@ -46,16 +46,23 @@ impl TraceAnalysis {
         let mut born: BTreeMap<VmId, u64> = BTreeMap::new();
         let mut lifetimes = Summary::new();
 
-        for r in log.records() {
-            *op_mix.entry(r.kind.clone()).or_default() += 1;
-            if !r.success {
-                *failures.entry(r.kind.clone()).or_default() += 1;
+        // Keyed maps allocate once per distinct kind, not per record: the
+        // kind set is a dozen static names but the log can hold millions
+        // of records.
+        fn slot<'m, V: Default>(map: &'m mut BTreeMap<String, V>, key: &str) -> &'m mut V {
+            if !map.contains_key(key) {
+                map.insert(key.to_string(), V::default());
             }
-            latency_by_kind
-                .entry(r.kind.clone())
-                .or_default()
-                .record(r.latency_s);
-            let split = split_by_kind.entry(r.kind.clone()).or_default();
+            map.get_mut(key).expect("just inserted")
+        }
+
+        for r in log.records() {
+            *slot(&mut op_mix, &r.kind) += 1;
+            if !r.success {
+                *slot(&mut failures, &r.kind) += 1;
+            }
+            slot(&mut latency_by_kind, &r.kind).record(r.latency_s);
+            let split = slot(&mut split_by_kind, &r.kind);
             split.0 += r.control_s();
             split.1 += r.data_s;
             hourly.mark(r.submitted_at());
@@ -139,7 +146,7 @@ mod tests {
         TraceRecord {
             submitted_us: submitted_s * 1_000_000,
             completed_us: submitted_s * 1_000_000 + 1_000_000,
-            kind: kind.to_string(),
+            kind: kind.to_string().into(),
             latency_s: 1.0,
             cpu_s: 0.1,
             db_s: 0.1,

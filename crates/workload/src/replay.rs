@@ -51,7 +51,7 @@ impl ReplayPlan {
             if !r.success {
                 continue;
             }
-            let mode = match r.kind.as_str() {
+            let mode = match r.kind.as_ref() {
                 "clone-full" => CloneMode::Full,
                 "clone-linked" => CloneMode::Linked,
                 "clone-instant" => CloneMode::Instant,
@@ -133,7 +133,7 @@ mod tests {
         TraceRecord {
             submitted_us: submitted_s * 1_000_000,
             completed_us: submitted_s * 1_000_000 + 8_000_000,
-            kind: kind.into(),
+            kind: kind.to_string().into(),
             latency_s: 8.0,
             cpu_s: 0.1,
             db_s: 0.1,

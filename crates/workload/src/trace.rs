@@ -1,6 +1,7 @@
 //! Per-operation trace records: the simulator's equivalent of the
 //! management-server logs the paper's characterization was built from.
 
+use std::borrow::Cow;
 use std::io::{BufRead, Write};
 
 use cpsim_des::SimTime;
@@ -53,8 +54,11 @@ pub struct TraceRecord {
     pub submitted_us: u64,
     /// Completion time, microseconds of simulated time.
     pub completed_us: u64,
-    /// Operation kind name.
-    pub kind: String,
+    /// Operation kind name. Borrowed from the plane's static kind table
+    /// when built from a task report (no per-record allocation); owned
+    /// when deserialized from disk. Serializes as a plain string either
+    /// way.
+    pub kind: Cow<'static, str>,
     /// End-to-end latency, seconds.
     pub latency_s: f64,
     /// Management CPU seconds.
@@ -86,7 +90,7 @@ impl TraceRecord {
         TraceRecord {
             submitted_us: report.submitted_at.as_micros(),
             completed_us: report.completed_at.as_micros(),
-            kind: report.kind.to_string(),
+            kind: Cow::Borrowed(report.kind),
             latency_s: report.latency.as_secs_f64(),
             cpu_s: report.cpu_secs,
             db_s: report.db_secs,
@@ -203,7 +207,7 @@ mod tests {
         TraceRecord {
             submitted_us: submitted_s * 1_000_000,
             completed_us: submitted_s * 1_000_000 + 5_000_000,
-            kind: kind.to_string(),
+            kind: kind.to_string().into(),
             latency_s: 5.0,
             cpu_s: 0.1,
             db_s: 0.2,
