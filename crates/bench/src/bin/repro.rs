@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): CLI entry point; prints tables and wall-clock timings by design
 //! `repro`: regenerates every table and figure of the reproduced paper.
 //!
 //! ```text

@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): the bench harness times experiments with the wall clock and keeps scratch maps; nothing here feeds simulated time or CSV ordering
 //! Harness support for the `repro` binary: argument parsing and table
 //! output (stdout markdown + optional CSV directory).
 
@@ -44,7 +45,7 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses arguments (everything after argv[0]).
+    /// Parses arguments (everything after argv\[0\]).
     ///
     /// # Errors
     ///

@@ -469,11 +469,7 @@ impl CloudDirector {
                             (id, gb)
                         })
                         .collect();
-                    movers.sort_by(|a, b| {
-                        a.1.partial_cmp(&b.1)
-                            .expect("finite sizes")
-                            .then_with(|| a.0.cmp(&b.0))
-                    });
+                    movers.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
                     for (vm, gb) in movers {
                         let (src_used, src_cap) = usage
                             .iter()
@@ -491,8 +487,7 @@ impl CloudDirector {
                             })
                             .min_by(|a, b| {
                                 (a.1 / a.2)
-                                    .partial_cmp(&(b.1 / b.2))
-                                    .expect("finite utilization")
+                                    .total_cmp(&(b.1 / b.2))
                                     .then_with(|| a.0.cmp(&b.0))
                             })
                             .map(|(id, _, _)| *id);

@@ -301,7 +301,7 @@ impl CloudSim {
         &self.sim.model().trace
     }
 
-    /// Full task reports (only if [`keep_task_reports`] was enabled).
+    /// Full task reports (only if `keep_task_reports` was enabled).
     pub fn task_reports(&self) -> &[TaskReport] {
         &self.sim.model().task_reports_kept
     }

@@ -2,7 +2,7 @@
 //! paper's evaluation (reconstructed — see `DESIGN.md`).
 //!
 //! Every experiment is a pure function from an [`ExpOptions`] to
-//! [`Table`](cpsim_metrics::Table)s, so the `cpsim-bench` binary, the
+//! [`Table`]s, so the `cpsim-bench` binary, the
 //! examples, and the integration tests all share one implementation.
 //!
 //! | Id  | Module | Claim substantiated |

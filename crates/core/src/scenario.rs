@@ -1,5 +1,5 @@
 //! The [`Scenario`] builder: declaratively describe a simulated cloud and
-//! build a runnable [`CloudSim`](crate::CloudSim).
+//! build a runnable [`CloudSim`].
 
 use cpsim_cloud::{CloudDirector, ProvisioningPolicy};
 use cpsim_des::{SimTime, Streams};

@@ -147,7 +147,7 @@ impl Dist {
         for &p in &points {
             ensure_nonneg("empirical point", p)?;
         }
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+        points.sort_by(|a, b| a.total_cmp(b));
         Ok(Dist::Empirical { points })
     }
 

@@ -28,9 +28,17 @@
 //!   once they dominate the heap, so a workload that cancels heavily cannot
 //!   degrade pop to O(log dead_events).
 
-use std::collections::HashSet;
-
 use crate::time::SimTime;
+
+/// Membership-only set of sequence numbers (cancellation bookkeeping).
+///
+/// Hash ordering cannot leak into event order: `cancelled` and `keyed` are
+/// only probed (`contains`/`remove`/`insert`) and bulk-dropped
+/// (`retain`/`clear`); nothing ever iterates them into an emit path, and the
+/// O(1) probe sits on the pop hot path where a `BTreeSet` would pay an
+/// extra O(log n) per event.
+// cpsim-lint: allow(no-unordered-iteration): membership-only probes on the pop hot path; iteration order is never observed
+type SeqSet = std::collections::HashSet<u64>;
 
 /// Heap arity. Four children per node halves tree depth vs. a binary heap.
 const ARITY: usize = 4;
@@ -77,12 +85,12 @@ pub struct EventQueue<E> {
     /// mutation). Only removals can surface a tombstone at the root
     /// (pushes sift the *new* entry up), so [`pop_raw`](Self::pop_raw)
     /// restores the invariant after every removal.
-    cancelled: HashSet<u64>,
+    cancelled: SeqSet,
     /// Sequence numbers scheduled via [`schedule_keyed`](Self::schedule_keyed)
     /// and still pending: lets `cancel` decide pendingness exactly in O(1).
     /// Plain [`schedule`](Self::schedule) never touches it, so the common
     /// (uncancellable) path pays only an is-empty branch per pop.
-    keyed: HashSet<u64>,
+    keyed: SeqSet,
 }
 
 impl<E> EventQueue<E> {
@@ -91,8 +99,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
-            keyed: HashSet::new(),
+            cancelled: SeqSet::new(),
+            keyed: SeqSet::new(),
         }
     }
 

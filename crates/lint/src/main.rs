@@ -1,0 +1,163 @@
+//! CLI for the cpsim determinism lint.
+//!
+//! ```text
+//! cargo run -p cpsim-lint -- --check                 # workspace scan
+//! cargo run -p cpsim-lint -- --check --format json   # machine-readable
+//! cargo run -p cpsim-lint -- --list-rules
+//! cargo run -p cpsim-lint -- --rules no-wall-clock,no-ambient-rng --check
+//! cargo run -p cpsim-lint -- --profile sim --hot path/to/file.rs
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cpsim_lint::{
+    find_workspace_root, run_workspace, scan_path, Profile, Report, RuleId, ALL_RULES,
+};
+
+struct Args {
+    help: bool,
+    format_json: bool,
+    root: Option<PathBuf>,
+    rules: Vec<RuleId>,
+    list_rules: bool,
+    profile: Profile,
+    hot: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        help: false,
+        format_json: false,
+        root: None,
+        rules: ALL_RULES.to_vec(),
+        list_rules: false,
+        profile: Profile::Sim,
+        hot: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // `--check` is the default (and only) mode; accepted for the
+            // documented invocation.
+            "--check" => {}
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value: text|json")?;
+                match v.as_str() {
+                    "json" => args.format_json = true,
+                    "text" => args.format_json = false,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--rules" => {
+                let v = it.next().ok_or("--rules needs a comma-separated list")?;
+                let mut rules = Vec::new();
+                for name in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    rules.push(
+                        RuleId::from_name(name)
+                            .ok_or_else(|| format!("unknown rule `{name}` (see --list-rules)"))?,
+                    );
+                }
+                // The directive meta-rule always runs: suppressions must
+                // stay well-formed even in a narrowed scan.
+                if !rules.contains(&RuleId::LintDirective) {
+                    rules.push(RuleId::LintDirective);
+                }
+                args.rules = rules;
+            }
+            "--list-rules" => args.list_rules = true,
+            "--profile" => {
+                let v = it.next().ok_or("--profile needs sim|harness")?;
+                args.profile = Profile::from_name(&v)
+                    .ok_or_else(|| format!("unknown profile `{v}` (sim|harness)"))?;
+            }
+            "--hot" => args.hot = true,
+            "--help" | "-h" => {
+                args.help = true;
+                return Ok(args);
+            }
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cpsim-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!(
+            "cpsim-lint: determinism-invariant static analysis for cpsim\n\n\
+             USAGE: cpsim-lint [--check] [--format text|json] [--root DIR]\n\
+                    [--rules r1,r2,...] [--list-rules]\n\
+                    [--profile sim|harness] [--hot] [FILES...]\n\n\
+             With FILES, scans just those files under --profile (profile\n\
+             directives in the files are honored); otherwise scans the\n\
+             whole workspace found at --root (default: walk up from cwd)."
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.list_rules {
+        for r in ALL_RULES {
+            println!("{:24} {}", r.name(), r.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if args.paths.is_empty() {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let root = match args.root.or_else(|| find_workspace_root(&cwd)) {
+            Some(r) => r,
+            None => {
+                eprintln!("cpsim-lint: no workspace root found (pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+        match run_workspace(&root, &args.rules) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cpsim-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut files = Vec::new();
+        for p in &args.paths {
+            match scan_path(p, args.profile, args.hot, &args.rules) {
+                Ok(f) => files.push(f),
+                Err(e) => {
+                    eprintln!("cpsim-lint: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Report {
+            root: PathBuf::from("."),
+            files,
+        }
+    };
+
+    if args.format_json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

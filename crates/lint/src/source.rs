@@ -1,0 +1,559 @@
+//! Source loading, comment/string masking, test-code exemption, and
+//! `cpsim-lint:` directive parsing.
+//!
+//! The scanner is deliberately *not* a Rust parser: it is a single-pass
+//! byte-level state machine that blanks out comments and literals so the
+//! rule matchers can do whole-word substring matching on real code without
+//! false positives from doc text or string contents. This keeps the tool
+//! std-only (no `syn`), consistent with the offline `compat/` policy.
+//!
+//! Three artifacts are produced per file:
+//!
+//! - `code`: the source with every comment and string/char literal replaced
+//!   by spaces (newlines preserved), byte-for-byte the same length as the
+//!   original so byte offsets agree between the two;
+//! - `exempt`: byte ranges belonging to `#[cfg(test)]` / `#[test]` items —
+//!   test-only code is held to the test-code bar, not the simulation bar;
+//! - `directives`: parsed `// cpsim-lint:` comments (suppressions and
+//!   profile declarations).
+
+use std::path::PathBuf;
+
+/// Which rule profile a file is checked under.
+///
+/// Simulation crates get the full determinism rule set; the bench/repro
+/// harness is *supposed* to read the wall clock and print, so it is held to
+/// a separate, looser profile (see [`crate::rules::RuleId::applies`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Simulation code: all determinism and robustness rules apply.
+    Sim,
+    /// Bench/repro harness code: only seeding and float-ordering rules apply.
+    Harness,
+}
+
+impl Profile {
+    /// The name used in `profile(...)` directives and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Sim => "sim",
+            Profile::Harness => "harness",
+        }
+    }
+
+    /// Parses a profile name as written in a directive.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(Profile::Sim),
+            "harness" => Some(Profile::Harness),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `// cpsim-lint:` comment.
+///
+/// Grammar (inside any line comment, doc comments included):
+///
+/// ```text
+/// cpsim-lint: allow(<rule>[, <rule>...]): <non-empty reason>
+/// cpsim-lint: profile(<sim|harness>): <non-empty reason>
+/// ```
+///
+/// The reason string is mandatory: a suppression that does not say *why*
+/// the invariant is safe to waive is itself a violation.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// Suppresses the named rules on the same line or the line below.
+    Allow {
+        line: usize,
+        rules: Vec<String>,
+        reason: String,
+    },
+    /// Declares the file's profile (harness files must carry one).
+    DeclareProfile {
+        line: usize,
+        profile: String,
+        reason: String,
+    },
+    /// A `cpsim-lint:` comment that does not parse; always reported.
+    Malformed { line: usize, error: String },
+}
+
+/// A loaded source file with its masked code and parsed metadata.
+pub struct SourceFile {
+    /// Absolute (or as-given) path, for I/O and error messages.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators, for reports.
+    pub rel: String,
+    /// Original text (used to read `.expect("...")` message literals).
+    pub text: String,
+    /// Comment- and literal-masked text, same byte length as `text`.
+    pub code: String,
+    /// Byte offset of the start of each line.
+    pub line_starts: Vec<usize>,
+    /// Byte ranges (half-open) of `#[cfg(test)]` / `#[test]` items.
+    pub exempt: Vec<(usize, usize)>,
+    /// Every `cpsim-lint:` directive found in comments.
+    pub directives: Vec<Directive>,
+}
+
+impl SourceFile {
+    /// Parses `text` (as read from `path`) into a scannable file.
+    pub fn parse(path: PathBuf, rel: String, text: String) -> SourceFile {
+        let (code, comments) = mask(&text);
+        let line_starts = line_starts(&text);
+        let exempt = exempt_ranges(&code);
+        let mut directives = Vec::new();
+        for (byte, body) in &comments {
+            if let Some(idx) = body.find("cpsim-lint:") {
+                let line = line_of(&line_starts, *byte);
+                directives.push(parse_directive(&body[idx + "cpsim-lint:".len()..], line));
+            }
+        }
+        SourceFile {
+            path,
+            rel,
+            text,
+            code,
+            line_starts,
+            exempt,
+            directives,
+        }
+    }
+
+    /// 1-based line number containing byte offset `byte`.
+    pub fn line_of(&self, byte: usize) -> usize {
+        line_of(&self.line_starts, byte)
+    }
+
+    /// 1-based column (in bytes) of `byte` within its line.
+    pub fn col_of(&self, byte: usize) -> usize {
+        let line = self.line_of(byte);
+        byte - self.line_starts[line - 1] + 1
+    }
+
+    /// The trimmed source text of the 1-based line `line`.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(self.text.len(), |e| *e);
+        self.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Whether `byte` falls inside a test-exempt item.
+    pub fn is_exempt(&self, byte: usize) -> bool {
+        self.exempt.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// The profile this file declares via a `profile(...)` directive, if any.
+    pub fn declared_profile(&self) -> Option<Profile> {
+        self.directives.iter().find_map(|d| match d {
+            Directive::DeclareProfile { profile, .. } => Profile::from_name(profile),
+            _ => None,
+        })
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(starts: &[usize], byte: usize) -> usize {
+    starts.partition_point(|&s| s <= byte)
+}
+
+/// Number of bytes in the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Blanks comments and string/char literals to spaces (newlines kept) and
+/// collects line comments as `(byte_offset, body)` for directive parsing.
+fn mask(text: &str) -> (String, Vec<(usize, String)>) {
+    let b = text.as_bytes();
+    let mut code = Vec::with_capacity(b.len());
+    let mut comments = Vec::new();
+    let mut i = 0;
+
+    // Appends the masked form of `text[from..to]` (spaces, newlines kept).
+    let blank = |code: &mut Vec<u8>, from: usize, to: usize| {
+        for &byte in &b[from..to] {
+            code.push(if byte == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        let prev_ident = i > 0 && is_ident_byte(b[i - 1]);
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            comments.push((start, text[start..i].to_string()));
+            blank(&mut code, start, i);
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push((start, text[start..i].to_string()));
+            blank(&mut code, start, i);
+        } else if c == b'"' {
+            let start = i;
+            i = skip_string(b, i + 1);
+            blank(&mut code, start, i);
+        } else if (c == b'r' || c == b'b') && !prev_ident {
+            // Raw strings (r"", r#""#), byte strings (b"", br""), byte chars.
+            let start = i;
+            let mut j = i + 1;
+            if c == b'b' && j < b.len() && b[j] == b'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == b'#' && (b[i] == b'r' || b[i + 1] == b'r') {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len()
+                && b[j] == b'"'
+                && (hashes > 0
+                    || b[start + 1] == b'"'
+                    || b[j - 1] == b'r'
+                    || b[start] == b'r'
+                    || (c == b'b' && j == start + 1))
+            {
+                // Raw or byte string: scan to closing quote + hashes.
+                if hashes > 0 {
+                    // Raw: no escapes; find `"###...` of the right arity.
+                    i = j + 1;
+                    loop {
+                        match b[i..].iter().position(|&x| x == b'"') {
+                            Some(q) => {
+                                let q = i + q;
+                                let mut k = 0;
+                                while k < hashes && q + 1 + k < b.len() && b[q + 1 + k] == b'#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i = q + 1 + hashes;
+                                    break;
+                                }
+                                i = q + 1;
+                            }
+                            None => {
+                                i = b.len();
+                                break;
+                            }
+                        }
+                    }
+                } else if b[start] == b'r' || (c == b'b' && b[start + 1] == b'r') {
+                    // r"..." with no hashes: no escapes, plain closing quote.
+                    i = j + 1;
+                    while i < b.len() && b[i] != b'"' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                } else {
+                    // b"...": escapes apply.
+                    i = skip_string(b, j + 1);
+                }
+                blank(&mut code, start, i);
+            } else if c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+                let end = skip_char_literal(b, i + 1);
+                if let Some(end) = end {
+                    blank(&mut code, start, end);
+                    i = end;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            } else {
+                code.push(c);
+                i += 1;
+            }
+        } else if c == b'\'' {
+            match skip_char_literal(b, i) {
+                Some(end) => {
+                    blank(&mut code, i, end);
+                    i = end;
+                }
+                None => {
+                    // Lifetime or loop label: plain code.
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        } else {
+            code.push(c);
+            i += 1;
+        }
+    }
+    (
+        String::from_utf8(code).expect("masking only writes ASCII over ASCII"),
+        comments,
+    )
+}
+
+/// Scans past a `"`-delimited string body starting at `i` (first byte after
+/// the opening quote); returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// If `b[i]` opens a char literal (`'x'`, `'\n'`, …), returns the index just
+/// past the closing quote; `None` means lifetime/label.
+fn skip_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(b[i], b'\'');
+    let j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut k = j + 1;
+        while k < b.len() {
+            match b[k] {
+                b'\\' => k += 2,
+                b'\'' => return Some(k + 1),
+                _ => k += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    // One UTF-8 scalar followed by a closing quote, else a lifetime.
+    let l = utf8_len(b[j]);
+    if j + l < b.len() && b[j + l] == b'\'' && b[j] != b'\'' {
+        Some(j + l + 1)
+    } else {
+        None
+    }
+}
+
+/// Finds byte ranges of items gated behind `#[cfg(test)]` / `#[test]`.
+///
+/// The scan runs over masked code, so attribute text inside strings or
+/// comments cannot confuse it. `#[cfg_attr(test, ...)]` does *not* exempt:
+/// the item still compiles into the simulation build.
+fn exempt_ranges(code: &str) -> Vec<(usize, usize)> {
+    let b = code.as_bytes();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        if j < b.len() && b[j] == b'!' {
+            j += 1;
+        }
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'[' {
+            i += 1;
+            continue;
+        }
+        let (attr_body, after) = match bracketed(b, j) {
+            Some(v) => v,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        let normalized: String = code[attr_body.0..attr_body.1]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if !is_test_attr(&normalized) {
+            i = after;
+            continue;
+        }
+        let end = item_end(b, after);
+        ranges.push((attr_start, end));
+        i = end;
+    }
+    ranges
+}
+
+/// Whether a whitespace-stripped attribute body gates code to test builds.
+fn is_test_attr(attr: &str) -> bool {
+    if attr == "test" {
+        return true;
+    }
+    if !attr.starts_with("cfg(") || attr.starts_with("cfg_attr") {
+        return false;
+    }
+    // Whole-word "test" inside the cfg predicate.
+    let bytes = attr.as_bytes();
+    for (k, _) in attr.match_indices("test") {
+        let before_ok = k == 0 || !is_ident_byte(bytes[k - 1]);
+        let after = k + 4;
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Returns the body range inside the `[...]` opening at `open`, plus the
+/// index just past the closing bracket.
+fn bracketed(b: &[u8], open: usize) -> Option<((usize, usize), usize)> {
+    debug_assert_eq!(b[open], b'[');
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(((open + 1, i), i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Scans from just past an attribute to the end of the item it decorates:
+/// past any further attributes, then to the first `;` at zero depth or the
+/// close of the first top-level `{...}` block.
+fn item_end(b: &[u8], mut i: usize) -> usize {
+    // Skip trailing attributes on the same item.
+    loop {
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'#' {
+            let mut j = i + 1;
+            if j < b.len() && b[j] == b'!' {
+                j += 1;
+            }
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'[' {
+                if let Some((_, after)) = bracketed(b, j) {
+                    i = after;
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut brace = 0i64;
+    let mut saw_brace = false;
+    while i < b.len() {
+        match b[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => {
+                brace += 1;
+                saw_brace = true;
+            }
+            b'}' => {
+                brace -= 1;
+                if saw_brace && brace == 0 {
+                    return i + 1;
+                }
+            }
+            b';' if paren == 0 && bracket == 0 && brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Parses the text after `cpsim-lint:` inside a comment.
+fn parse_directive(rest: &str, line: usize) -> Directive {
+    let rest = rest.trim();
+    let malformed = |error: &str| Directive::Malformed {
+        line,
+        error: error.to_string(),
+    };
+    for (kind, is_allow) in [("allow(", true), ("profile(", false)] {
+        let Some(body) = rest.strip_prefix(kind) else {
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            return malformed("unclosed directive argument list");
+        };
+        let args: Vec<String> = body[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if args.is_empty() {
+            return malformed("directive needs at least one argument");
+        }
+        let after = body[close + 1..].trim_start();
+        let reason = match after.strip_prefix(':') {
+            Some(r) => r.trim(),
+            None => {
+                return malformed("suppression reason is mandatory: write `): <why this is safe>`")
+            }
+        };
+        if reason.is_empty() {
+            return malformed("suppression reason is mandatory and must be non-empty");
+        }
+        if is_allow {
+            return Directive::Allow {
+                line,
+                rules: args,
+                reason: reason.to_string(),
+            };
+        }
+        if args.len() != 1 || Profile::from_name(&args[0]).is_none() {
+            return malformed("profile(...) takes exactly one of: sim, harness");
+        }
+        return Directive::DeclareProfile {
+            line,
+            profile: args[0].clone(),
+            reason: reason.to_string(),
+        };
+    }
+    malformed("unknown directive: expected allow(...) or profile(...)")
+}

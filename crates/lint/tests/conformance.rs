@@ -1,0 +1,156 @@
+//! Conformance suite for `cpsim-lint` itself: every rule fires on its
+//! positive fixture, every suppression form holds, test-gated code is
+//! exempt, and the harness profile is looser in exactly the documented way.
+
+use std::path::PathBuf;
+
+use cpsim_lint::{scan_path, FileReport, Profile, RuleId, ALL_RULES};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan(name: &str, profile: Profile, hot: bool) -> FileReport {
+    scan_path(&fixture(name), profile, hot, ALL_RULES).expect("fixture file readable")
+}
+
+fn count(report: &FileReport, rule: RuleId) -> usize {
+    report.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+fn count_suppressed(report: &FileReport, rule: RuleId) -> usize {
+    report.suppressed.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn r1_fires_on_wall_clock_and_skips_sim_variants() {
+    let r = scan("r1_wall_clock.rs", Profile::Sim, false);
+    // Instant::now + SystemTime + UNIX_EPOCH; CloneMode::Instant and the
+    // string/comment mentions must not fire.
+    assert_eq!(count(&r, RuleId::NoWallClock), 3, "{:?}", r.violations);
+    assert_eq!(r.suppressed.len(), 0);
+}
+
+#[test]
+fn r1_suppression_holds_in_both_positions() {
+    let r = scan("r1_suppressed.rs", Profile::Sim, false);
+    assert_eq!(count(&r, RuleId::NoWallClock), 0, "{:?}", r.violations);
+    // Line-above and same-line forms both count as suppressed hits.
+    assert_eq!(count_suppressed(&r, RuleId::NoWallClock), 2);
+    assert_eq!(count(&r, RuleId::LintDirective), 0);
+}
+
+#[test]
+fn r2_fires_on_ambient_rng_only() {
+    let r = scan("r2_ambient_rng.rs", Profile::Sim, false);
+    // thread_rng + from_entropy + OsRng; seed_from_u64 must not fire.
+    assert_eq!(count(&r, RuleId::NoAmbientRng), 3, "{:?}", r.violations);
+}
+
+#[test]
+fn r3_fires_on_unordered_collections_only() {
+    let r = scan("r3_unordered.rs", Profile::Sim, false);
+    // use HashMap + field HashMap + field HashSet; BTreeMap/Vec are fine.
+    assert_eq!(
+        count(&r, RuleId::NoUnorderedIteration),
+        3,
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn r3_suppression_holds() {
+    let r = scan("r3_suppressed.rs", Profile::Sim, false);
+    assert_eq!(
+        count(&r, RuleId::NoUnorderedIteration),
+        0,
+        "{:?}",
+        r.violations
+    );
+    assert_eq!(count_suppressed(&r, RuleId::NoUnorderedIteration), 1);
+}
+
+#[test]
+fn r4_fires_on_calls_but_not_trait_impls() {
+    let r = scan("r4_float_ord.rs", Profile::Sim, false);
+    // The sort_by call fires; the `fn partial_cmp` definition and the
+    // total_cmp call do not.
+    assert_eq!(count(&r, RuleId::NoRawFloatOrd), 1, "{:?}", r.violations);
+}
+
+#[test]
+fn r5_fires_only_on_hot_paths() {
+    let hot = scan("r5_panic_hot.rs", Profile::Sim, true);
+    // unwrap + short expect + panic! + unreachable!; the invariant-citing
+    // expect and the non-literal expect pass.
+    assert_eq!(
+        count(&hot, RuleId::NoPanicHotPath),
+        4,
+        "{:?}",
+        hot.violations
+    );
+
+    let cold = scan("r5_panic_hot.rs", Profile::Sim, false);
+    assert_eq!(
+        count(&cold, RuleId::NoPanicHotPath),
+        0,
+        "{:?}",
+        cold.violations
+    );
+}
+
+#[test]
+fn r5_suppression_holds() {
+    let r = scan("r5_suppressed.rs", Profile::Sim, true);
+    assert_eq!(count(&r, RuleId::NoPanicHotPath), 0, "{:?}", r.violations);
+    assert_eq!(count_suppressed(&r, RuleId::NoPanicHotPath), 1);
+}
+
+#[test]
+fn r6_fires_on_printing_but_not_sink_writes() {
+    let r = scan("r6_stdout.rs", Profile::Sim, false);
+    // println! + eprintln! + dbg!; writeln!(out, ...) is the sanctioned path.
+    assert_eq!(count(&r, RuleId::NoStdoutInLibs), 3, "{:?}", r.violations);
+}
+
+#[test]
+fn harness_profile_waives_exactly_the_harness_rules() {
+    // The file declares profile(harness); scan_path honors the directive
+    // even though the default passed in is Sim.
+    let r = scan("harness_profile.rs", Profile::Sim, true);
+    assert_eq!(r.profile, Profile::Harness);
+    assert_eq!(count(&r, RuleId::NoWallClock), 0);
+    assert_eq!(count(&r, RuleId::NoUnorderedIteration), 0);
+    assert_eq!(count(&r, RuleId::NoStdoutInLibs), 0);
+    assert_eq!(count(&r, RuleId::NoPanicHotPath), 0);
+    // Seeding and float ordering still fire: they leak into results.
+    assert_eq!(count(&r, RuleId::NoAmbientRng), 1, "{:?}", r.violations);
+    assert_eq!(count(&r, RuleId::NoRawFloatOrd), 1, "{:?}", r.violations);
+}
+
+#[test]
+fn cfg_test_items_are_exempt() {
+    let r = scan("cfg_test_exempt.rs", Profile::Sim, true);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn reasonless_or_unknown_suppressions_are_violations() {
+    let r = scan("bad_suppression.rs", Profile::Sim, false);
+    // One malformed (missing reason) + one unknown rule name.
+    assert_eq!(count(&r, RuleId::LintDirective), 2, "{:?}", r.violations);
+    // And the reasonless allow does NOT suppress: the Instant::now under it
+    // still fires.
+    assert_eq!(count(&r, RuleId::NoWallClock), 1, "{:?}", r.violations);
+}
+
+#[test]
+fn rule_names_round_trip() {
+    for r in ALL_RULES {
+        assert_eq!(RuleId::from_name(r.name()), Some(*r));
+        assert!(!r.description().is_empty());
+    }
+}

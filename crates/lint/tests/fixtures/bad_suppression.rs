@@ -1,0 +1,12 @@
+//! Directive-hygiene fixture: suppressions without reasons, and unknown
+//! rule names, are themselves violations.
+
+fn reasonless() {
+    // cpsim-lint: allow(no-wall-clock)
+    let _ = std::time::Instant::now();
+}
+
+fn unknown_rule() {
+    // cpsim-lint: allow(no-such-rule): this rule does not exist
+    let _x = 1;
+}

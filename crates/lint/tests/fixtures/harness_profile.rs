@@ -1,0 +1,30 @@
+// cpsim-lint: profile(harness): fixture for the looser harness profile
+//! Harness-profile fixture: wall clock, scratch maps, printing, and hot-path
+//! panics are all fine here — but ambient RNG and raw float ordering still
+//! fire, because those leak into experiment results.
+
+use std::collections::HashMap;
+
+fn timing_is_fine() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    println!("elapsed so far: {:?}", t.elapsed());
+    t.elapsed()
+}
+
+fn scratch_is_fine() -> HashMap<String, f64> {
+    HashMap::new()
+}
+
+fn hot_panic_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// These two still fire under the harness profile:
+fn seeding_still_checked() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn float_ord_still_checked(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

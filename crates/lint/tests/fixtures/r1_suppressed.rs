@@ -1,0 +1,11 @@
+//! R1 suppressed fixture: the same hazard, waived in place with a reason.
+
+fn timed() -> u64 {
+    // cpsim-lint: allow(no-wall-clock): fixture demonstrating a reasoned suppression
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn timed_same_line() {
+    let _ = SystemTime::now(); // cpsim-lint: allow(no-wall-clock): same-line suppression form
+}

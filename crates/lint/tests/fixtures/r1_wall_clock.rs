@@ -1,0 +1,22 @@
+//! R1 positive fixture: wall-clock sources in simulation code.
+//! Not compiled — scanned by tests/conformance.rs.
+
+fn bad_instant() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn bad_systemtime() {
+    let _ = SystemTime::now();
+    let _ = UNIX_EPOCH;
+}
+
+// Must NOT fire: a sim enum variant that happens to be named Instant.
+fn fine_variant(mode: CloneMode) -> bool {
+    mode == CloneMode::Instant
+}
+
+// Must NOT fire: the word only appears in a string and a comment (Instant).
+fn fine_masked() -> &'static str {
+    "Instant::now belongs to the harness"
+}

@@ -1,0 +1,16 @@
+//! R2 positive fixture: ambient randomness (not derived from a sim seed).
+
+fn bad() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn also_bad() {
+    let _rng = SmallRng::from_entropy();
+    let _os = OsRng;
+}
+
+// Must NOT fire: seeded construction.
+fn fine(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

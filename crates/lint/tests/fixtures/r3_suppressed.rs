@@ -1,0 +1,8 @@
+//! R3 suppressed fixture: membership-only set with a reasoned waiver.
+
+// cpsim-lint: allow(no-unordered-iteration): membership-only; iteration order never observed
+type SeqSet = std::collections::HashSet<u64>;
+
+struct Queue {
+    cancelled: SeqSet,
+}

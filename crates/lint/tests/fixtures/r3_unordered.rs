@@ -1,0 +1,14 @@
+//! R3 positive fixture: unordered collections in sim state.
+
+use std::collections::HashMap;
+
+struct SimState {
+    by_host: HashMap<u64, u32>,
+    seen: std::collections::HashSet<u64>,
+}
+
+// Must NOT fire: ordered containers.
+struct FineState {
+    by_host: std::collections::BTreeMap<u64, u32>,
+    order: Vec<u64>,
+}

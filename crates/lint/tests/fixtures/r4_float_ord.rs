@@ -1,0 +1,18 @@
+//! R4 positive fixture: raw float ordering.
+
+fn bad(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+// Must NOT fire: a PartialOrd impl *defines* partial_cmp rather than
+// ordering floats with it.
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+// Must NOT fire: total_cmp is the sanctioned order.
+fn fine(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,25 @@
+//! R5 positive fixture: panics on a (simulated) hot path.
+//! Scanned with hot_path = true.
+
+fn bad(map: &std::collections::BTreeMap<u64, u32>, k: u64) -> u32 {
+    let a = *map.get(&k).unwrap();
+    let b = *map.get(&k).expect("present");
+    if a != b {
+        panic!("impossible");
+    }
+    match a {
+        0 => unreachable!(),
+        _ => a,
+    }
+}
+
+// Must NOT fire: an expect that cites its invariant.
+fn fine(map: &std::collections::BTreeMap<u64, u32>, k: u64) -> u32 {
+    *map.get(&k)
+        .expect("key inserted at schedule time and removed only on pop")
+}
+
+// Must NOT fire: non-literal expect messages are presumed substantive.
+fn fine_dynamic(map: &std::collections::BTreeMap<u64, u32>, k: u64) -> u32 {
+    *map.get(&k).expect(&format!("slot {k} exists"))
+}

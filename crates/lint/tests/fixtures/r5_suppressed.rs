@@ -1,0 +1,10 @@
+//! R5 suppressed fixture: a genuinely-unreachable panic, waived with the
+//! reason the rule demands. Scanned with hot_path = true.
+
+fn checked(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        // cpsim-lint: allow(no-panic-hot-path): caller verified is_some() one line above
+        None => unreachable!("caller checked"),
+    }
+}

@@ -1,0 +1,12 @@
+//! R6 positive fixture: printing from library code.
+
+fn bad(x: u32) {
+    println!("x = {x}");
+    eprintln!("warn");
+    let _ = dbg!(x);
+}
+
+// Must NOT fire: writing to a caller-supplied sink is the sanctioned path.
+fn fine(out: &mut dyn std::io::Write, x: u32) -> std::io::Result<()> {
+    writeln!(out, "x = {x}")
+}

@@ -144,8 +144,7 @@ impl Summary {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            self.values.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }

@@ -158,6 +158,7 @@ impl AdmissionControl {
                     self.vm_locks.insert(*vm, VmLock::Shared(1));
                 }
                 Some(VmLock::Shared(n)) => *n += 1,
+                // cpsim-lint: allow(no-panic-hot-path): first_blocker returned None above, so no vm in scope holds an exclusive lock
                 Some(VmLock::Exclusive) => unreachable!("first_blocker said yes"),
             }
         }
@@ -227,6 +228,7 @@ impl AdmissionControl {
                 Some(VmLock::Shared(_)) => {
                     self.vm_locks.remove(vm);
                 }
+                // cpsim-lint: allow(no-panic-hot-path): a double-release means the lock table is already corrupt; aborting beats silently leaking capacity
                 other => panic!("releasing unheld shared vm lock: {other:?}"),
             }
             self.freed.insert(Blocker::Vm(*vm));

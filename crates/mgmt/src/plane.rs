@@ -582,14 +582,21 @@ impl ControlPlane {
                 .expect("missed implies injector")
                 .policy()
                 .heartbeat_miss_threshold;
-            let misses = self.faults.as_mut().expect("checked").record_miss(host);
+            let misses = self
+                .faults
+                .as_mut()
+                .expect("gated on faults.is_some() by this match arm")
+                .record_miss(host);
             let connected = self
                 .inv
                 .host(host)
                 .is_some_and(|h| h.state == HostState::Connected);
             if misses >= threshold && connected {
                 let _ = self.inv.set_host_state(host, HostState::Disconnected);
-                self.faults.as_mut().expect("checked").declare_down(host);
+                self.faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .declare_down(host);
                 self.stats.on_host_declared_down();
                 self.charge_resync(now, out);
             }
@@ -722,7 +729,10 @@ impl ControlPlane {
                     }
                     if hangs {
                         self.stats.on_agent_timeout();
-                        self.tasks.get_mut(tid).expect("live").pending_timeout = true;
+                        self.tasks
+                            .get_mut(tid)
+                            .expect("task entry outlives its in-flight events")
+                            .pending_timeout = true;
                     }
                     match self
                         .agents
@@ -772,10 +782,16 @@ impl ControlPlane {
                 }
                 Step::Acquire(scope) => {
                     if self.admission.try_acquire(&scope) {
-                        self.tasks.get_mut(tid).expect("live").scope = Some(scope);
+                        self.tasks
+                            .get_mut(tid)
+                            .expect("task entry outlives its in-flight events")
+                            .scope = Some(scope);
                         continue;
                     }
-                    let t = self.tasks.get_mut(tid).expect("live");
+                    let t = self
+                        .tasks
+                        .get_mut(tid)
+                        .expect("task entry outlives its in-flight events");
                     t.parked_at = Some(now);
                     self.admission.park(tid, scope);
                     return;
@@ -931,13 +947,17 @@ impl ControlPlane {
                 }
                 let hid = self.heartbeat_hosts[host % self.heartbeat_hosts.len()];
                 if self.inv.host(hid).is_none()
-                    || self.faults.as_ref().expect("checked").host_down(hid)
+                    || self
+                        .faults
+                        .as_ref()
+                        .expect("gated on faults.is_some() by this match arm")
+                        .host_down(hid)
                 {
                     return; // removed or already down: nothing new fails
                 }
                 self.faults
                     .as_mut()
-                    .expect("checked")
+                    .expect("gated on faults.is_some() by this match arm")
                     .mark_host_down(host, hid);
                 self.stats.on_host_crash();
                 out.push(Emit::At(
@@ -960,12 +980,16 @@ impl ControlPlane {
             FaultKind::HostRecover { host } => {
                 // Clear the down flag; reconnection happens when healthy
                 // heartbeats resume.
-                let _ = self.faults.as_mut().expect("checked").recover_host(host);
+                let _ = self
+                    .faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .recover_host(host);
             }
             FaultKind::AgentSlowdown { factor, duration } => {
                 self.faults
                     .as_mut()
-                    .expect("checked")
+                    .expect("gated on faults.is_some() by this match arm")
                     .push_agent_slow(factor);
                 out.push(Emit::At(
                     now + duration,
@@ -975,47 +999,70 @@ impl ControlPlane {
             FaultKind::AgentSpeedRestore { factor } => {
                 self.faults
                     .as_mut()
-                    .expect("checked")
+                    .expect("gated on faults.is_some() by this match arm")
                     .pop_agent_slow(factor);
             }
             FaultKind::DbDegraded { factor, duration } => {
-                self.faults.as_mut().expect("checked").push_db_slow(factor);
+                self.faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .push_db_slow(factor);
                 out.push(Emit::At(
                     now + duration,
                     MgmtEvent::Fault(FaultKind::DbRestore { factor }),
                 ));
             }
             FaultKind::DbRestore { factor } => {
-                self.faults.as_mut().expect("checked").pop_db_slow(factor);
+                self.faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .pop_db_slow(factor);
             }
             FaultKind::DatastoreOutage { ds, duration } => {
                 if self.datastore_order.is_empty() {
                     return;
                 }
                 let did = self.datastore_order[ds % self.datastore_order.len()];
-                if self.faults.as_ref().expect("checked").ds_down(did) {
+                if self
+                    .faults
+                    .as_ref()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .ds_down(did)
+                {
                     return;
                 }
-                self.faults.as_mut().expect("checked").mark_ds_down(ds, did);
+                self.faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .mark_ds_down(ds, did);
                 out.push(Emit::At(
                     now + duration,
                     MgmtEvent::Fault(FaultKind::DatastoreRestore { ds }),
                 ));
             }
             FaultKind::DatastoreRestore { ds } => {
-                let _ = self.faults.as_mut().expect("checked").restore_ds(ds);
+                let _ = self
+                    .faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .restore_ds(ds);
             }
             FaultKind::HeartbeatDrops { host, duration } => {
                 if self.heartbeat_hosts.is_empty() {
                     return;
                 }
                 let hid = self.heartbeat_hosts[host % self.heartbeat_hosts.len()];
-                if self.faults.as_ref().expect("checked").hb_dropped(hid) {
+                if self
+                    .faults
+                    .as_ref()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .hb_dropped(hid)
+                {
                     return;
                 }
                 self.faults
                     .as_mut()
-                    .expect("checked")
+                    .expect("gated on faults.is_some() by this match arm")
                     .mark_hb_dropped(host, hid);
                 out.push(Emit::At(
                     now + duration,
@@ -1023,7 +1070,11 @@ impl ControlPlane {
                 ));
             }
             FaultKind::HeartbeatRestore { host } => {
-                let _ = self.faults.as_mut().expect("checked").restore_hb(host);
+                let _ = self
+                    .faults
+                    .as_mut()
+                    .expect("gated on faults.is_some() by this match arm")
+                    .restore_hb(host);
             }
         }
     }
@@ -1102,7 +1153,10 @@ impl ControlPlane {
                 else {
                     return Step::Fail("placement failed: no capacity".into());
                 };
-                self.tasks.get_mut(tid).expect("live").placement = Some((host, ds));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((host, ds));
                 Step::Acquire(Scope::global_only().with_host(host).with_datastore(ds))
             }
             5 => {
@@ -1113,9 +1167,9 @@ impl ControlPlane {
                 let (host, ds) = self
                     .tasks
                     .get(tid)
-                    .expect("live")
+                    .expect("task entry outlives its in-flight events")
                     .placement
-                    .expect("placed");
+                    .expect("placement recorded by an earlier stage");
                 if self.faults.as_ref().is_some_and(|i| i.ds_down(ds)) {
                     return Step::FailRetryable(format!("datastore {ds} unavailable"));
                 }
@@ -1132,7 +1186,10 @@ impl ControlPlane {
                     }
                 };
                 self.inv.vm_mut(vm).expect("just created").disks.push(disk);
-                self.tasks.get_mut(tid).expect("live").produced_vm = Some(vm);
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .produced_vm = Some(vm);
                 Step::Continue
             }
             7 => Step::Agent(self.placed_host(tid), Primitive::CreateVmFiles),
@@ -1171,7 +1228,10 @@ impl ControlPlane {
                 };
                 if mode == CloneMode::Instant {
                     let (host, ds) = (src.host, src.datastore);
-                    self.tasks.get_mut(tid).expect("live").placement = Some((host, ds));
+                    self.tasks
+                        .get_mut(tid)
+                        .expect("task entry outlives its in-flight events")
+                        .placement = Some((host, ds));
                     return Step::Acquire(
                         Scope::global_only()
                             .with_host(host)
@@ -1185,6 +1245,7 @@ impl ControlPlane {
                 let disk_need = match mode {
                     CloneMode::Full => spec.disk_gb,
                     CloneMode::Linked => self.cfg.linked_delta_gb,
+                    // cpsim-lint: allow(no-panic-hot-path): the Instant arm returns at the top of this stage, so this match sees only Full/Linked
                     CloneMode::Instant => unreachable!("instant handled above"),
                 };
                 let mut placement =
@@ -1208,7 +1269,10 @@ impl ControlPlane {
                 let Some((host, ds)) = placement else {
                     return Step::Fail("placement failed: no capacity".into());
                 };
-                self.tasks.get_mut(tid).expect("live").placement = Some((host, ds));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((host, ds));
                 Step::Acquire(
                     Scope::global_only()
                         .with_host(host)
@@ -1237,9 +1301,9 @@ impl ControlPlane {
                 let (host, ds) = self
                     .tasks
                     .get(tid)
-                    .expect("live")
+                    .expect("task entry outlives its in-flight events")
                     .placement
-                    .expect("placed");
+                    .expect("placement recorded by an earlier stage");
                 if self.faults.as_ref().is_some_and(|i| i.ds_down(ds)) {
                     return Step::FailRetryable(format!("datastore {ds} unavailable"));
                 }
@@ -1252,7 +1316,10 @@ impl ControlPlane {
                     Ok(vm) => vm,
                     Err(e) => return Step::Fail(e.to_string()),
                 };
-                self.tasks.get_mut(tid).expect("live").produced_vm = Some(vm);
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .produced_vm = Some(vm);
                 match mode {
                     CloneMode::Instant => {
                         let parent = match self.inv.vm(source).and_then(|v| v.disks.last().copied())
@@ -1268,7 +1335,11 @@ impl ControlPlane {
                             Ok(d) => d,
                             Err(e) => return Step::Fail(e.to_string()),
                         };
-                        self.inv.vm_mut(vm).expect("live").disks.push(delta);
+                        self.inv
+                            .vm_mut(vm)
+                            .expect("vm stays in inventory while its task runs")
+                            .disks
+                            .push(delta);
                         Step::Continue
                     }
                     CloneMode::Full => {
@@ -1276,7 +1347,10 @@ impl ControlPlane {
                             Ok(d) => d,
                             Err(e) => return Step::Fail(e.to_string()),
                         };
-                        self.tasks.get_mut(tid).expect("live").work_disk = Some(disk);
+                        self.tasks
+                            .get_mut(tid)
+                            .expect("task entry outlives its in-flight events")
+                            .work_disk = Some(disk);
                         Step::Transfer {
                             src: src_ds,
                             dst: ds,
@@ -1299,7 +1373,10 @@ impl ControlPlane {
                                     Ok(d) => d,
                                     Err(e) => return Step::Fail(e.to_string()),
                                 };
-                            let t = self.tasks.get_mut(tid).expect("live");
+                            let t = self
+                                .tasks
+                                .get_mut(tid)
+                                .expect("task entry outlives its in-flight events");
                             t.work_disk = Some(disk);
                             t.shadow_copy = true;
                             Step::Transfer {
@@ -1317,30 +1394,37 @@ impl ControlPlane {
                 let (_, ds) = self
                     .tasks
                     .get(tid)
-                    .expect("live")
+                    .expect("task entry outlives its in-flight events")
                     .placement
-                    .expect("placed");
+                    .expect("placement recorded by an earlier stage");
                 let vm = self
                     .tasks
                     .get(tid)
-                    .expect("live")
+                    .expect("task entry outlives its in-flight events")
                     .produced_vm
-                    .expect("created");
+                    .expect("produced by an earlier stage of this task");
                 match mode {
                     CloneMode::Instant => return Step::Continue,
                     CloneMode::Full => {
                         let disk = self
                             .tasks
                             .get_mut(tid)
-                            .expect("live")
+                            .expect("task entry outlives its in-flight events")
                             .work_disk
                             .take()
-                            .expect("created");
-                        self.inv.vm_mut(vm).expect("live").disks.push(disk);
+                            .expect("produced by an earlier stage of this task");
+                        self.inv
+                            .vm_mut(vm)
+                            .expect("vm stays in inventory while its task runs")
+                            .disks
+                            .push(disk);
                     }
                     CloneMode::Linked => {
                         let (shadow, shadow_disk) = {
-                            let t = self.tasks.get(tid).expect("live");
+                            let t = self
+                                .tasks
+                                .get(tid)
+                                .expect("task entry outlives its in-flight events");
                             (t.shadow_copy, t.work_disk)
                         };
                         let parent = if shadow {
@@ -1358,7 +1442,11 @@ impl ControlPlane {
                             Ok(d) => d,
                             Err(e) => return Step::Fail(e.to_string()),
                         };
-                        self.inv.vm_mut(vm).expect("live").disks.push(delta);
+                        self.inv
+                            .vm_mut(vm)
+                            .expect("vm stays in inventory while its task runs")
+                            .disks
+                            .push(delta);
                         if shadow {
                             // Several clones may have raced to make the
                             // first copy on this datastore (the shadow-VM
@@ -1371,7 +1459,10 @@ impl ControlPlane {
                             } else if let Err(e) = self.storage.detach(&mut self.inv, parent) {
                                 return Step::Fail(e.to_string());
                             }
-                            self.tasks.get_mut(tid).expect("live").work_disk = None;
+                            self.tasks
+                                .get_mut(tid)
+                                .expect("task entry outlives its in-flight events")
+                                .work_disk = None;
                         }
                     }
                 }
@@ -1409,8 +1500,16 @@ impl ControlPlane {
                     Some(v) => v.host,
                     None => return Step::Fail(format!("vm {vm} no longer exists")),
                 };
-                self.tasks.get_mut(tid).expect("live").placement =
-                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((
+                    host,
+                    self.inv
+                        .vm(vm)
+                        .expect("vm stays in inventory while its task runs")
+                        .datastore,
+                ));
                 Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
             }
             4 => Step::Agent(
@@ -1457,8 +1556,16 @@ impl ControlPlane {
                     Some(v) => v.host,
                     None => return Step::Fail(format!("vm {vm} no longer exists")),
                 };
-                self.tasks.get_mut(tid).expect("live").placement =
-                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((
+                    host,
+                    self.inv
+                        .vm(vm)
+                        .expect("vm stays in inventory while its task runs")
+                        .datastore,
+                ));
                 Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
             }
             4 => Step::Agent(self.placed_host(tid), primitive),
@@ -1481,8 +1588,16 @@ impl ControlPlane {
                     Some(v) => v.host,
                     None => return Step::Fail(format!("vm {vm} no longer exists")),
                 };
-                self.tasks.get_mut(tid).expect("live").placement =
-                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((
+                    host,
+                    self.inv
+                        .vm(vm)
+                        .expect("vm stays in inventory while its task runs")
+                        .datastore,
+                ));
                 Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
             }
             4 => Step::Agent(self.placed_host(tid), Primitive::CreateSnapshot),
@@ -1496,7 +1611,10 @@ impl ControlPlane {
                     .snapshot(&mut self.inv, disk, self.cfg.snapshot_delta_gb)
                 {
                     Ok(new_top) => {
-                        let v = self.inv.vm_mut(vm).expect("live");
+                        let v = self
+                            .inv
+                            .vm_mut(vm)
+                            .expect("vm stays in inventory while its task runs");
                         *v.disks.last_mut().expect("non-empty") = new_top;
                         Step::Continue
                     }
@@ -1522,8 +1640,16 @@ impl ControlPlane {
                     Some(v) => v.host,
                     None => return Step::Fail(format!("vm {vm} no longer exists")),
                 };
-                self.tasks.get_mut(tid).expect("live").placement =
-                    Some((host, self.inv.vm(vm).expect("live").datastore));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((
+                    host,
+                    self.inv
+                        .vm(vm)
+                        .expect("vm stays in inventory while its task runs")
+                        .datastore,
+                ));
                 Step::Acquire(Scope::global_only().with_host(host).with_vm(vm))
             }
             4 => Step::Agent(self.placed_host(tid), Primitive::RemoveSnapshot),
@@ -1537,7 +1663,10 @@ impl ControlPlane {
                 };
                 match self.storage.consolidate(&mut self.inv, disk) {
                     Ok((merged_into, bytes)) => {
-                        let v = self.inv.vm_mut(vm).expect("live");
+                        let v = self
+                            .inv
+                            .vm_mut(vm)
+                            .expect("vm stays in inventory while its task runs");
                         *v.disks.last_mut().expect("non-empty") = merged_into;
                         Step::Transfer {
                             src: ds,
@@ -1571,7 +1700,10 @@ impl ControlPlane {
                 if v.power == PowerState::On {
                     return Step::Fail(format!("vm {vm} is powered on"));
                 }
-                self.tasks.get_mut(tid).expect("live").placement = Some((v.host, v.datastore));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((v.host, v.datastore));
                 Step::Acquire(Scope::global_only().with_host(v.host).with_vm(vm))
             }
             4 => Step::Agent(self.placed_host(tid), Primitive::UnregisterVm),
@@ -1619,7 +1751,10 @@ impl ControlPlane {
                 else {
                     return Step::Fail("migration placement failed: no destination host".into());
                 };
-                self.tasks.get_mut(tid).expect("live").placement = Some((dst_host, ds));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((dst_host, ds));
                 Step::Acquire(
                     Scope::global_only()
                         .with_host(src_host)
@@ -1664,7 +1799,10 @@ impl ControlPlane {
                 if v.datastore == dst {
                     return Step::Fail("relocate source and destination are the same".into());
                 }
-                self.tasks.get_mut(tid).expect("live").placement = Some((v.host, dst));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = Some((v.host, dst));
                 Step::Acquire(
                     Scope::global_only()
                         .with_host(v.host)
@@ -1692,7 +1830,10 @@ impl ControlPlane {
                     Ok(d) => d,
                     Err(e) => return Step::Fail(e.to_string()),
                 };
-                self.tasks.get_mut(tid).expect("live").work_disk = Some(new_disk);
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .work_disk = Some(new_disk);
                 Step::Transfer {
                     src: src_ds,
                     dst,
@@ -1704,10 +1845,10 @@ impl ControlPlane {
                 let new_disk = self
                     .tasks
                     .get_mut(tid)
-                    .expect("live")
+                    .expect("task entry outlives its in-flight events")
                     .work_disk
                     .take()
-                    .expect("created");
+                    .expect("produced by an earlier stage of this task");
                 let old_disks = match self.inv.vm(vm) {
                     Some(v) => v.disks.clone(),
                     None => return Step::Fail("vm vanished".into()),
@@ -1717,7 +1858,10 @@ impl ControlPlane {
                         return Step::Fail(e.to_string());
                     }
                 }
-                let v = self.inv.vm_mut(vm).expect("live");
+                let v = self
+                    .inv
+                    .vm_mut(vm)
+                    .expect("vm stays in inventory while its task runs");
                 v.disks = vec![new_disk];
                 v.datastore = dst;
                 Step::Continue
@@ -1755,7 +1899,10 @@ impl ControlPlane {
                     Ok(d) => d,
                     Err(e) => return Step::Fail(e.to_string()),
                 };
-                self.tasks.get_mut(tid).expect("live").work_disk = Some(disk);
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .work_disk = Some(disk);
                 Step::Transfer {
                     src: src_ds,
                     dst,
@@ -1767,10 +1914,10 @@ impl ControlPlane {
                 let disk = self
                     .tasks
                     .get_mut(tid)
-                    .expect("live")
+                    .expect("task entry outlives its in-flight events")
                     .work_disk
                     .take()
-                    .expect("created");
+                    .expect("produced by an earlier stage of this task");
                 self.residency.seed(template, dst, disk);
                 Step::Continue
             }
@@ -1820,8 +1967,10 @@ impl ControlPlane {
                         MgmtEvent::Heartbeat { slot },
                     ));
                 }
-                self.tasks.get_mut(tid).expect("live").placement =
-                    datastores.first().map(|ds| (host, *ds));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = datastores.first().map(|ds| (host, *ds));
                 Step::Continue
             }
             6 => {
@@ -1841,11 +1990,14 @@ impl ControlPlane {
                 let ds = self
                     .inv
                     .host(host)
-                    .expect("live")
+                    .expect("host records persist for the whole run")
                     .datastores
                     .first()
                     .copied();
-                self.tasks.get_mut(tid).expect("live").placement = ds.map(|d| (host, d));
+                self.tasks
+                    .get_mut(tid)
+                    .expect("task entry outlives its in-flight events")
+                    .placement = ds.map(|d| (host, d));
                 Step::Acquire(Scope::global_only().with_host(host))
             }
             4 => Step::Agent(host, Primitive::MountDatastore),
@@ -1864,7 +2016,7 @@ impl ControlPlane {
     fn placed_host(&self, tid: TaskId) -> HostId {
         self.tasks
             .get(tid)
-            .expect("live")
+            .expect("task entry outlives its in-flight events")
             .placement
             .expect("placement made before agent phases")
             .0

@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): runnable example; prints to stdout by design
 //! Characterization pipeline: run a profile, persist its operation trace
 //! as JSONL (the simulator's stand-in for management-server logs), re-load
 //! it, and print the characterization the paper built from such logs.

@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): runnable example; prints to stdout by design
 //! Cloud reconfiguration: grow a busy cloud by one datastore and compare
 //! "lazy" absorption (shadow copies on first use) with proactive template
 //! seeding — the operation the paper says must become routine at cloud

@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): runnable example; prints to stdout by design
 //! Provisioning storm: a class-start burst of 40 vApp requests hits the
 //! cloud at once. Compare full clones against linked clones and watch the
 //! bottleneck move from the datastores to the management control plane —

@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): runnable example; prints to stdout by design
 //! Quickstart: simulate six hours of the "Cloud A" self-service cloud and
 //! print what the management control plane saw.
 //!

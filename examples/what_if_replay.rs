@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): runnable example; prints to stdout by design
 //! Capacity planning by trace replay: record a day of Cloud B, then ask
 //! "what happens to deployment latency if the same demand arrives 2× and
 //! 4× faster?" — the planning workflow the paper's characterization

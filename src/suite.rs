@@ -1,3 +1,4 @@
+// cpsim-lint: profile(harness): integration-test support library, not simulation state
 //! `cpsim-suite`: the workspace-level package hosting the cross-crate
 //! integration tests (`tests/`) and runnable examples (`examples/`).
 //!
