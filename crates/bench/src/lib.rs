@@ -176,9 +176,10 @@ pub fn listing_with_baseline(baseline: &[(String, BaselineRecord)]) -> String {
                 .find(|(id, _)| id == e.id)
                 .map(|(_, b)| format!("  last {}: {:.0} events/s", b.scale, b.events_per_sec))
                 .unwrap_or_default();
+            let marker = if e.federated { "  [federated]" } else { "" };
             format!(
-                "  {:4} {}  [{} quick / {} full sweep points]{}",
-                e.id, e.title, e.sweep_quick, e.sweep_full, recorded
+                "  {:4} {}  [{} quick / {} full sweep points]{}{}",
+                e.id, e.title, e.sweep_quick, e.sweep_full, marker, recorded
             )
         })
         .collect::<Vec<_>>()
@@ -667,7 +668,7 @@ mod tests {
     #[test]
     fn select_all_by_default() {
         let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
-        assert_eq!(cli.select().unwrap().len(), 15);
+        assert_eq!(cli.select().unwrap().len(), 17);
     }
 
     #[test]
@@ -686,6 +687,24 @@ mod tests {
                 e.id
             );
         }
+    }
+
+    #[test]
+    fn federated_experiments_are_marked_in_the_listing() {
+        let l = listing();
+        for e in cpsim::experiments::all() {
+            let line = l
+                .lines()
+                .find(|line| line.contains(e.id) && line.contains(e.title))
+                .unwrap_or_else(|| panic!("{} missing from listing", e.id));
+            assert_eq!(
+                line.contains("[federated]"),
+                e.federated,
+                "{} federated marker mismatch",
+                e.id
+            );
+        }
+        assert!(listing().contains("[federated]"));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use cpsim_cloud::{CloudRequest, ProvisioningPolicy};
 use cpsim_des::{SimDuration, SimTime};
+use cpsim_faults::RecoveryPolicy;
+use cpsim_federation::{FedScenario, FedSim, FedTopology, Router, RouterPolicy};
 use cpsim_mgmt::{CloneMode, ControlPlaneConfig};
 use cpsim_workload::Topology;
 
@@ -175,6 +177,173 @@ pub fn closed_loop(
             latency_sum / latency_n as f64
         },
         failures: sim.plane().stats().failed(),
+    }
+}
+
+/// Result of a federated closed-loop load run.
+#[derive(Clone, Copy, Debug)]
+pub struct FedLoadResult {
+    /// VMs provisioned per hour across all shards in the window.
+    pub vms_per_hour: f64,
+    /// Mean end-to-end instantiate latency (seconds) in the window.
+    pub mean_latency_s: f64,
+    /// 99th-percentile provisioning queueing delay (admission + queue
+    /// seconds) over tasks completed in the window.
+    pub p99_queue_s: f64,
+    /// Shared-pool placements committed through the ledger.
+    pub commits: u64,
+    /// Placement commits rejected at the ledger (stale-view races).
+    pub conflicts: u64,
+    /// Placement-store refreshes performed by the shards.
+    pub syncs: u64,
+    /// Tasks aborted after exhausting conflict retries.
+    pub aborted: u64,
+    /// Failed operations summed over all shards.
+    pub failures: u64,
+    /// Deepest admission backlog on any single shard.
+    pub pending_peak: usize,
+}
+
+/// Runs a federated closed loop: `n` single-VM linked instantiates always
+/// outstanding across the federation. The initial burst is spread
+/// round-robin; every completion triggers a delete on its shard and a
+/// fresh instantiate routed to the least-loaded shard.
+#[allow(clippy::too_many_arguments)]
+pub fn fed_closed_loop(
+    seed: u64,
+    topology: FedTopology,
+    config: ControlPlaneConfig,
+    policy: ProvisioningPolicy,
+    recovery: RecoveryPolicy,
+    staleness: SimDuration,
+    n: u32,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> FedLoadResult {
+    let shards = topology.shards;
+    let mut sim = FedScenario::new(topology)
+        .seed(seed)
+        .config(config)
+        .policy(policy)
+        .recovery(recovery)
+        .staleness(staleness)
+        .build();
+    sim.keep_task_reports(true);
+    let mut router = Router::new(RouterPolicy::LeastLoaded);
+    let submit = |sim: &mut FedSim, at: SimTime, s: usize| {
+        let org = sim.org(s);
+        let template = sim.templates(s)[0];
+        sim.schedule_request(
+            at,
+            s,
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(CloneMode::Linked),
+                lease: None,
+            },
+        );
+    };
+    for i in 0..n {
+        submit(
+            &mut sim,
+            SimTime::from_micros(u64::from(i) + 1),
+            i as usize % shards,
+        );
+    }
+
+    let end = SimTime::ZERO + warmup + measure;
+    let slice = SimDuration::from_secs(15);
+    let mut handled = vec![0usize; shards];
+    let mut completed_in_window = 0u64;
+    let mut latency_sum = 0.0;
+    let mut latency_n = 0u64;
+    while sim.now() < end {
+        sim.run_for(slice);
+        let now = sim.now();
+        // `s` also names the shard in `cloud_reports`/`schedule_request`
+        // calls below, which borrow `sim` mutably — a plain index loop
+        // reads better than threading `handled` through an iterator.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..shards {
+            let reports: Vec<(usize, &'static str, f64, bool, bool)> = sim.cloud_reports(s)
+                [handled[s]..]
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    (
+                        handled[s] + i,
+                        r.kind,
+                        r.latency.as_secs_f64(),
+                        r.completed_at >= SimTime::ZERO + warmup,
+                        r.ops_issued > 0 && r.ops_failed == 0,
+                    )
+                })
+                .collect();
+            handled[s] += reports.len();
+            for (idx, kind, latency, in_window, produced) in reports {
+                if kind != "instantiate-vapp" {
+                    continue;
+                }
+                // Goodput counts only clean instantiates; a request
+                // whose clone aborted or failed placement is not goodput.
+                if in_window && produced {
+                    completed_in_window += 1;
+                    latency_sum += latency;
+                    latency_n += 1;
+                }
+                if let Some(vapp) = sim.cloud_reports(s)[idx].vapp {
+                    sim.schedule_request(now, s, CloudRequest::DeleteVapp { vapp });
+                }
+                // Keep the loop closed: reissue on the least-loaded shard.
+                let loads = sim.shard_loads();
+                let dst = router.pick(&loads, 0);
+                submit(&mut sim, now, dst);
+            }
+        }
+    }
+
+    let mut delays: Vec<f64> = Vec::new();
+    let mut aborted = 0u64;
+    let mut failures = 0u64;
+    let mut pending_peak = 0usize;
+    for s in 0..shards {
+        for r in sim.task_reports(s) {
+            if r.aborted {
+                aborted += 1;
+            }
+            if matches!(r.kind, "clone-linked" | "clone-full" | "create-vm")
+                && r.completed_at >= SimTime::ZERO + warmup
+            {
+                delays.push(r.queue_secs + r.admission_secs);
+            }
+        }
+        failures += sim.plane(s).stats().failed();
+        pending_peak = pending_peak.max(sim.plane(s).admission().peak_pending());
+    }
+    delays.sort_by(|a, b| a.total_cmp(b));
+    let p99 = if delays.is_empty() {
+        0.0
+    } else {
+        delays[((delays.len() - 1) as f64 * 0.99).round() as usize]
+    };
+    let stats = sim.store_stats();
+    debug_assert!(sim.check_store_invariants().is_ok());
+    FedLoadResult {
+        vms_per_hour: completed_in_window as f64 / measure.as_secs_f64() * 3_600.0,
+        mean_latency_s: if latency_n == 0 {
+            0.0
+        } else {
+            latency_sum / latency_n as f64
+        },
+        p99_queue_s: p99,
+        commits: stats.commits,
+        conflicts: stats.conflicts,
+        syncs: stats.syncs,
+        aborted,
+        failures,
+        pending_peak,
     }
 }
 

@@ -18,14 +18,18 @@
 //! | F8  | [`f8_reconfig`] | reconfiguration cost and interference |
 //! | F9  | [`f9_queueing`] | queueing delays grow with load |
 //! | T2  | [`t2_breakdown`] | per-phase control-plane cost |
-//! | F10 | [`f10_scaleout`] | scale-out / DB batching ablation |
+//! | F10 | [`f10_scaleout`] | scale-out: federated shards vs capacity multiplier |
 //! | F11 | [`f11_heartbeat`] | background load scales with hosts |
 //! | F12 | [`f12_availability`] | goodput/availability under faults |
 //! | T3  | [`t3_faults`] | retry/abort/rollback breakdown |
+//! | F13 | [`f13_conflicts`] | federated conflict rate vs staleness |
+//! | F14 | [`f14_rebalance`] | cross-shard rebalance cost vs skew |
 
 pub mod f10_scaleout;
 pub mod f11_heartbeat;
 pub mod f12_availability;
+pub mod f13_conflicts;
+pub mod f14_rebalance;
 pub mod f1_opmix;
 pub mod f2_arrivals;
 pub mod f3_latency_split;
@@ -114,6 +118,9 @@ pub struct Experiment {
     pub sweep_full: usize,
     /// Runner.
     pub run: fn(&ExpOptions) -> Vec<Table>,
+    /// Whether the experiment drives the federated multi-shard model
+    /// (`cpsim-federation`) rather than a single control plane.
+    pub federated: bool,
 }
 
 impl Experiment {
@@ -138,6 +145,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Table I: characteristics of the two cloud environments",
             sweep_quick: 3,
             sweep_full: 3,
+            federated: false,
             run: t1_environments::run,
         },
         Experiment {
@@ -145,6 +153,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 1: management operation mix, clouds vs enterprise",
             sweep_quick: 3,
             sweep_full: 3,
+            federated: false,
             run: f1_opmix::run,
         },
         Experiment {
@@ -152,6 +161,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 2: request arrival rate over a day",
             sweep_quick: 3,
             sweep_full: 3,
+            federated: false,
             run: f2_arrivals::run,
         },
         Experiment {
@@ -159,6 +169,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 3: per-operation latency, control vs data plane",
             sweep_quick: 1,
             sweep_full: 1,
+            federated: false,
             run: f3_latency_split::run,
         },
         Experiment {
@@ -166,6 +177,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 4: provisioning throughput vs concurrency",
             sweep_quick: 9,
             sweep_full: 30,
+            federated: false,
             run: f4_throughput::run,
         },
         Experiment {
@@ -173,6 +185,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 5: control-plane utilization vs provisioning rate",
             sweep_quick: 3,
             sweep_full: 7,
+            federated: false,
             run: f5_utilization::run,
         },
         Experiment {
@@ -180,6 +193,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 6: VM lifetime distributions",
             sweep_quick: 3,
             sweep_full: 3,
+            federated: false,
             run: f6_lifetimes::run,
         },
         Experiment {
@@ -187,6 +201,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 7: vApp deployment latency vs size under limits",
             sweep_quick: 12,
             sweep_full: 28,
+            federated: false,
             run: f7_vapp_scaling::run,
         },
         Experiment {
@@ -194,6 +209,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 8: cloud reconfiguration cost and interference",
             sweep_quick: 4,
             sweep_full: 7,
+            federated: false,
             run: f8_reconfig::run,
         },
         Experiment {
@@ -201,6 +217,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 9: task queueing-delay distribution vs load",
             sweep_quick: 4,
             sweep_full: 4,
+            federated: false,
             run: f9_queueing::run,
         },
         Experiment {
@@ -208,13 +225,15 @@ pub fn all() -> Vec<Experiment> {
             title: "Table II: control-plane cost breakdown by phase",
             sweep_quick: 1,
             sweep_full: 1,
+            federated: false,
             run: t2_breakdown::run,
         },
         Experiment {
             id: "f10",
-            title: "Figure 10: scale-out and DB-batching ablation",
+            title: "Figure 10: scale-out, federated shards vs capacity multiplier",
             sweep_quick: 4,
             sweep_full: 8,
+            federated: true,
             run: f10_scaleout::run,
         },
         Experiment {
@@ -222,6 +241,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 11: heartbeat/background load vs inventory size",
             sweep_quick: 2,
             sweep_full: 4,
+            federated: false,
             run: f11_heartbeat::run,
         },
         Experiment {
@@ -229,6 +249,7 @@ pub fn all() -> Vec<Experiment> {
             title: "Figure 12: goodput and availability vs injected fault rate",
             sweep_quick: 4,
             sweep_full: 8,
+            federated: false,
             run: f12_availability::run,
         },
         Experiment {
@@ -236,7 +257,24 @@ pub fn all() -> Vec<Experiment> {
             title: "Table III: retry/abort/rollback breakdown under faults",
             sweep_quick: 1,
             sweep_full: 1,
+            federated: false,
             run: t3_faults::run,
+        },
+        Experiment {
+            id: "f13",
+            title: "Figure 13: federated conflicts/goodput vs shards and staleness",
+            sweep_quick: 6,
+            sweep_full: 9,
+            federated: true,
+            run: f13_conflicts::run,
+        },
+        Experiment {
+            id: "f14",
+            title: "Figure 14: cross-shard rebalance cost vs inventory skew",
+            sweep_quick: 3,
+            sweep_full: 5,
+            federated: true,
+            run: f14_rebalance::run,
         },
     ]
 }
@@ -265,7 +303,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]

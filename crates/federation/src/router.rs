@@ -1,0 +1,119 @@
+//! Request routing across federation shards.
+//!
+//! The router decides which shard receives each incoming cloud request.
+//! It is deterministic: the same policy over the same request sequence and
+//! load observations always produces the same shard sequence.
+
+/// How the federation front door spreads requests over shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Deterministic hash of the request sequence number: uniform spread,
+    /// oblivious to load.
+    Hash,
+    /// Send to the shard with the fewest tasks in flight plus pending
+    /// admissions; ties break toward the lowest shard index.
+    LeastLoaded,
+    /// Pin each tenant to a shard (`org_key mod shards`): perfect
+    /// affinity, worst skew tolerance.
+    Locality,
+}
+
+/// A deterministic shard picker.
+#[derive(Clone, Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    seq: u64,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash for sequence numbers.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Router {
+    /// Creates a router with the given policy.
+    pub fn new(policy: RouterPolicy) -> Self {
+        Router { policy, seq: 0 }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// How many requests this router has placed.
+    pub fn routed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Picks a shard for the next request.
+    ///
+    /// `loads` is one load observation per shard (e.g. tasks in flight +
+    /// pending admissions); `org_key` is a stable tenant key used by the
+    /// locality policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty.
+    pub fn pick(&mut self, loads: &[usize], org_key: u64) -> usize {
+        assert!(!loads.is_empty(), "router needs at least one shard");
+        let n = loads.len();
+        let shard = match self.policy {
+            RouterPolicy::Hash => (mix(self.seq) % n as u64) as usize,
+            RouterPolicy::LeastLoaded => {
+                let mut best = 0;
+                for (i, &load) in loads.iter().enumerate() {
+                    if load < loads[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            RouterPolicy::Locality => (org_key % n as u64) as usize,
+        };
+        self.seq += 1;
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_spreads_and_is_deterministic() {
+        let loads = [0usize; 4];
+        let mut a = Router::new(RouterPolicy::Hash);
+        let mut b = Router::new(RouterPolicy::Hash);
+        let picks_a: Vec<usize> = (0..64).map(|_| a.pick(&loads, 0)).collect();
+        let picks_b: Vec<usize> = (0..64).map(|_| b.pick(&loads, 0)).collect();
+        assert_eq!(picks_a, picks_b);
+        for s in 0..4 {
+            assert!(
+                picks_a.iter().filter(|&&p| p == s).count() >= 8,
+                "shard {s} starved: {picks_a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_idle_shard_and_breaks_ties_low() {
+        let mut r = Router::new(RouterPolicy::LeastLoaded);
+        assert_eq!(r.pick(&[5, 2, 9], 0), 1);
+        assert_eq!(r.pick(&[3, 3, 3], 0), 0);
+        assert_eq!(r.pick(&[4, 1, 1], 0), 1);
+        assert_eq!(r.routed(), 3);
+    }
+
+    #[test]
+    fn locality_pins_by_tenant_key() {
+        let loads = [0usize; 3];
+        let mut r = Router::new(RouterPolicy::Locality);
+        assert_eq!(r.pick(&loads, 7), 1);
+        assert_eq!(r.pick(&loads, 7), 1);
+        assert_eq!(r.pick(&loads, 9), 0);
+    }
+}

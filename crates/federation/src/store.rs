@@ -1,0 +1,461 @@
+//! The shared [`PlacementStore`]: an authoritative commitment ledger for
+//! the federation's spillover pool.
+//!
+//! Every shard owns its home hosts and datastores outright — no ledger,
+//! no races. The shared pool is different: each shard registers the same
+//! physical spillover entities in its own inventory, and the ledger is
+//! the single source of truth for how much of each one is committed
+//! across the whole federation.
+//!
+//! Bookkeeping model, per shared datastore:
+//!
+//! - `committed_gb` — authoritative total commitment, updated
+//!   synchronously at every [`try_commit`](PlacementStore::try_commit) /
+//!   [`release`](PlacementStore::release);
+//! - `contributed_gb[s]` — how much of that total shard `s` committed.
+//!   A shard's own contributions are materialized in its own inventory
+//!   by the storage layer, so only the *foreign* share
+//!   (`committed - contributed[s]`) must be mirrored in;
+//! - `mirrored_gb[s]` — how much foreign usage shard `s` has folded into
+//!   its inventory so far. The mirror is refreshed on the staleness
+//!   window (and eagerly for a datastore that just conflicted), so
+//!   between refreshes a shard's local view under- or over-counts the
+//!   others by whatever they committed or released in the window.
+//!
+//! The conservation invariant `committed == Σ contributed` plus the
+//! capacity bound `0 ≤ committed ≤ cap` are what
+//! [`check_invariants`](PlacementStore::check_invariants) enforces: a
+//! double-booked commit or a leaked release shows up as a violation.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cpsim_inventory::{DatastoreId, HostId};
+
+/// One accepted reservation on the shared pool, as recorded at commit
+/// time. The federation driver pops these when the owning task finishes
+/// and either binds them to the produced VM (success) or releases them
+/// (failure/rollback).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenCommit {
+    /// Shared-host index the memory was committed on, if the placement's
+    /// host is in the shared pool.
+    pub host: Option<usize>,
+    /// Shared-datastore index the disk was committed on, if the
+    /// placement's datastore is in the shared pool.
+    pub ds: Option<usize>,
+    /// Committed memory, MB.
+    pub mem_mb: u64,
+    /// Committed disk, GiB.
+    pub disk_gb: f64,
+}
+
+/// Ledger counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Accepted shared-pool commits.
+    pub commits: u64,
+    /// Rejected commits (stale-view conflicts).
+    pub conflicts: u64,
+    /// Mirror refreshes (staleness-window ticks plus eager
+    /// post-conflict refreshes).
+    pub syncs: u64,
+    /// Released reservations.
+    pub releases: u64,
+    /// Cross-shard migration handoffs.
+    pub handoffs: u64,
+}
+
+struct SharedDs {
+    cap_gb: f64,
+    committed_gb: f64,
+    contributed_gb: Vec<f64>,
+    mirrored_gb: Vec<f64>,
+}
+
+struct SharedHost {
+    cap_mem_mb: u64,
+    committed_mem_mb: u64,
+    contributed_mem_mb: Vec<u64>,
+}
+
+/// The authoritative shared-pool commitment ledger.
+pub struct PlacementStore {
+    shards: usize,
+    ds: Vec<SharedDs>,
+    hosts: Vec<SharedHost>,
+    /// Accepted-but-unsettled reservations, keyed by the committing
+    /// shard and the *local* entity ids its task report will carry.
+    /// A FIFO per key: concurrent same-placement commits settle in
+    /// commit order, which conserves totals exactly.
+    open: BTreeMap<(usize, HostId, DatastoreId), VecDeque<OpenCommit>>,
+    stats: StoreStats,
+}
+
+impl PlacementStore {
+    /// Creates an empty ledger for `shards` control planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a federation needs at least one shard");
+        PlacementStore {
+            shards,
+            ds: Vec::new(),
+            hosts: Vec::new(),
+            open: BTreeMap::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Number of shards this ledger serves.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Registers a shared datastore of `cap_gb`; returns its index.
+    pub fn add_shared_ds(&mut self, cap_gb: f64) -> usize {
+        self.ds.push(SharedDs {
+            cap_gb,
+            committed_gb: 0.0,
+            contributed_gb: vec![0.0; self.shards],
+            mirrored_gb: vec![0.0; self.shards],
+        });
+        self.ds.len() - 1
+    }
+
+    /// Registers a shared host with `cap_mem_mb` of memory; returns its
+    /// index.
+    pub fn add_shared_host(&mut self, cap_mem_mb: u64) -> usize {
+        self.hosts.push(SharedHost {
+            cap_mem_mb,
+            committed_mem_mb: 0,
+            contributed_mem_mb: vec![0; self.shards],
+        });
+        self.hosts.len() - 1
+    }
+
+    /// Number of shared datastores.
+    pub fn shared_ds_len(&self) -> usize {
+        self.ds.len()
+    }
+
+    /// Seeds setup-time usage (template base disks a shard installed on
+    /// the shared datastore) into the ledger as that shard's
+    /// contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seeded usage exceeds the declared capacity.
+    pub fn seed_ds(&mut self, idx: usize, shard: usize, gb: f64) {
+        let d = &mut self.ds[idx];
+        d.committed_gb += gb;
+        d.contributed_gb[shard] += gb;
+        assert!(
+            d.committed_gb <= d.cap_gb + 1e-9,
+            "shared datastore {idx} over-seeded: {} > {}",
+            d.committed_gb,
+            d.cap_gb
+        );
+    }
+
+    /// Authoritative committed space on shared datastore `idx`, GiB.
+    pub fn committed_gb(&self, idx: usize) -> f64 {
+        self.ds[idx].committed_gb
+    }
+
+    /// Authoritative free space on shared datastore `idx`, GiB.
+    pub fn free_gb(&self, idx: usize) -> f64 {
+        self.ds[idx].cap_gb - self.ds[idx].committed_gb
+    }
+
+    /// Attempts to commit a reservation against the authoritative view:
+    /// `disk_gb` on shared datastore `ds` (if any) and `mem_mb` on
+    /// shared host `host` (if any). Both succeed or neither does.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflict reason when the authoritative free capacity
+    /// no longer covers the reservation the shard's stale view promised.
+    pub fn try_commit(
+        &mut self,
+        shard: usize,
+        host: Option<usize>,
+        ds: Option<usize>,
+        mem_mb: u64,
+        disk_gb: f64,
+    ) -> Result<(), String> {
+        if let Some(di) = ds {
+            let d = &self.ds[di];
+            if d.committed_gb + disk_gb > d.cap_gb + 1e-9 {
+                self.stats.conflicts += 1;
+                return Err(format!(
+                    "placement conflict: shared datastore {di} has {:.1} GiB free, need {disk_gb:.1}",
+                    d.cap_gb - d.committed_gb
+                ));
+            }
+        }
+        if let Some(hi) = host {
+            let h = &self.hosts[hi];
+            if h.committed_mem_mb + mem_mb > h.cap_mem_mb {
+                self.stats.conflicts += 1;
+                return Err(format!(
+                    "placement conflict: shared host {hi} has {} MB free, need {mem_mb}",
+                    h.cap_mem_mb - h.committed_mem_mb
+                ));
+            }
+        }
+        if let Some(di) = ds {
+            let d = &mut self.ds[di];
+            d.committed_gb += disk_gb;
+            d.contributed_gb[shard] += disk_gb;
+        }
+        if let Some(hi) = host {
+            let h = &mut self.hosts[hi];
+            h.committed_mem_mb += mem_mb;
+            h.contributed_mem_mb[shard] += mem_mb;
+        }
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Records an accepted reservation under the local ids the owning
+    /// shard's task report will carry.
+    pub fn record_open(
+        &mut self,
+        shard: usize,
+        host_id: HostId,
+        ds_id: DatastoreId,
+        commit: OpenCommit,
+    ) {
+        self.open
+            .entry((shard, host_id, ds_id))
+            .or_default()
+            .push_back(commit);
+    }
+
+    /// Pops the oldest unsettled reservation for `(shard, host, ds)`,
+    /// if the placement touched the shared pool.
+    pub fn take_open(
+        &mut self,
+        shard: usize,
+        host_id: HostId,
+        ds_id: DatastoreId,
+    ) -> Option<OpenCommit> {
+        let key = (shard, host_id, ds_id);
+        let q = self.open.get_mut(&key)?;
+        let oc = q.pop_front();
+        if q.is_empty() {
+            self.open.remove(&key);
+        }
+        oc
+    }
+
+    /// Releases a reservation (VM destroyed, or its provisioning task
+    /// failed and rolled back).
+    pub fn release(&mut self, shard: usize, commit: &OpenCommit) {
+        if let Some(di) = commit.ds {
+            let d = &mut self.ds[di];
+            d.committed_gb = (d.committed_gb - commit.disk_gb).max(0.0);
+            d.contributed_gb[shard] = (d.contributed_gb[shard] - commit.disk_gb).max(0.0);
+        }
+        if let Some(hi) = commit.host {
+            let h = &mut self.hosts[hi];
+            h.committed_mem_mb = h.committed_mem_mb.saturating_sub(commit.mem_mb);
+            h.contributed_mem_mb[shard] = h.contributed_mem_mb[shard].saturating_sub(commit.mem_mb);
+        }
+        self.stats.releases += 1;
+    }
+
+    /// Foreign commitment on shared datastore `idx` from shard `shard`'s
+    /// point of view: what everyone else committed.
+    pub fn foreign_gb(&self, shard: usize, idx: usize) -> f64 {
+        let d = &self.ds[idx];
+        d.committed_gb - d.contributed_gb[shard]
+    }
+
+    /// Advances shard `shard`'s mirror of shared datastore `idx` to the
+    /// current foreign commitment and returns the delta the caller must
+    /// fold into the shard's inventory (may be negative after releases).
+    pub fn mirror_delta(&mut self, shard: usize, idx: usize) -> f64 {
+        let foreign = self.foreign_gb(shard, idx);
+        let d = &mut self.ds[idx];
+        let delta = foreign - d.mirrored_gb[shard];
+        d.mirrored_gb[shard] = foreign;
+        delta
+    }
+
+    /// Notes one staleness-window mirror refresh.
+    pub fn on_sync(&mut self) {
+        self.stats.syncs += 1;
+    }
+
+    /// Notes one cross-shard migration handoff.
+    pub fn on_handoff(&mut self) {
+        self.stats.handoffs += 1;
+    }
+
+    /// Ledger counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Unsettled reservations currently recorded.
+    pub fn open_len(&self) -> usize {
+        self.open.values().map(VecDeque::len).sum()
+    }
+
+    /// Verifies ledger conservation: every committed unit is attributed
+    /// to exactly one shard, commitments never exceed capacity or go
+    /// negative, and mirrors never exceed what was ever committed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, d) in self.ds.iter().enumerate() {
+            let sum: f64 = d.contributed_gb.iter().sum();
+            if (sum - d.committed_gb).abs() > 1e-6 {
+                return Err(format!(
+                    "shared ds {i}: committed {:.6} != sum of contributions {:.6}",
+                    d.committed_gb, sum
+                ));
+            }
+            if d.committed_gb < -1e-9 || d.committed_gb > d.cap_gb + 1e-6 {
+                return Err(format!(
+                    "shared ds {i}: committed {:.6} outside [0, {:.1}]",
+                    d.committed_gb, d.cap_gb
+                ));
+            }
+            if d.contributed_gb.iter().any(|&c| c < -1e-9) {
+                return Err(format!("shared ds {i}: negative contribution"));
+            }
+            if d.mirrored_gb
+                .iter()
+                .any(|&m| m < -1e-9 || m > d.cap_gb + 1e-6)
+            {
+                return Err(format!("shared ds {i}: mirror outside [0, cap]"));
+            }
+        }
+        for (i, h) in self.hosts.iter().enumerate() {
+            let sum: u64 = h.contributed_mem_mb.iter().sum();
+            if sum != h.committed_mem_mb {
+                return Err(format!(
+                    "shared host {i}: committed {} != sum of contributions {sum}",
+                    h.committed_mem_mb
+                ));
+            }
+            if h.committed_mem_mb > h.cap_mem_mb {
+                return Err(format!("shared host {i}: memory over-committed"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsim_inventory::EntityId;
+
+    fn ids() -> (HostId, DatastoreId) {
+        (HostId::from_parts(0, 1), DatastoreId::from_parts(0, 1))
+    }
+
+    #[test]
+    fn two_shards_race_one_winner() {
+        let mut st = PlacementStore::new(2);
+        let di = st.add_shared_ds(100.0);
+        st.seed_ds(di, 0, 49.0);
+        st.seed_ds(di, 1, 49.0);
+        // 2 GiB free; both shards' stale views still show room for 2.
+        assert!(st.try_commit(0, None, Some(di), 2_048, 2.0).is_ok());
+        let err = st.try_commit(1, None, Some(di), 2_048, 2.0).unwrap_err();
+        assert!(err.contains("conflict"), "{err}");
+        assert_eq!(st.stats().commits, 1);
+        assert_eq!(st.stats().conflicts, 1);
+        // No double booking: committed stays within capacity.
+        assert!(st.committed_gb(di) <= 100.0);
+        st.check_invariants().unwrap();
+        // The loser's refreshed mirror now sees the winner's commit.
+        assert!((st.foreign_gb(1, di) - 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_restores_capacity_without_leaks() {
+        let mut st = PlacementStore::new(2);
+        let di = st.add_shared_ds(10.0);
+        let hi = st.add_shared_host(4_096);
+        st.try_commit(0, Some(hi), Some(di), 1_024, 10.0).unwrap();
+        assert!(st.try_commit(1, None, Some(di), 0, 1.0).is_err());
+        let oc = OpenCommit {
+            host: Some(hi),
+            ds: Some(di),
+            mem_mb: 1_024,
+            disk_gb: 10.0,
+        };
+        st.release(0, &oc);
+        st.check_invariants().unwrap();
+        assert!((st.free_gb(di) - 10.0).abs() < 1e-9);
+        assert!(st.try_commit(1, None, Some(di), 0, 1.0).is_ok());
+        st.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mirror_delta_tracks_foreign_commits_only() {
+        let mut st = PlacementStore::new(2);
+        let di = st.add_shared_ds(100.0);
+        st.try_commit(0, None, Some(di), 0, 5.0).unwrap();
+        st.try_commit(1, None, Some(di), 0, 3.0).unwrap();
+        // Shard 0 mirrors only shard 1's 3 GiB.
+        assert!((st.mirror_delta(0, di) - 3.0).abs() < 1e-9);
+        // Nothing new since: delta is zero.
+        assert_eq!(st.mirror_delta(0, di), 0.0);
+        // After shard 1 releases, the delta goes negative.
+        let oc = OpenCommit {
+            host: None,
+            ds: Some(di),
+            mem_mb: 0,
+            disk_gb: 3.0,
+        };
+        st.release(1, &oc);
+        assert!((st.mirror_delta(0, di) + 3.0).abs() < 1e-9);
+        st.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn open_commit_fifo_settles_in_order() {
+        let mut st = PlacementStore::new(1);
+        let di = st.add_shared_ds(100.0);
+        let (h, d) = ids();
+        st.try_commit(0, None, Some(di), 0, 1.0).unwrap();
+        st.record_open(
+            0,
+            h,
+            d,
+            OpenCommit {
+                host: None,
+                ds: Some(di),
+                mem_mb: 0,
+                disk_gb: 1.0,
+            },
+        );
+        st.try_commit(0, None, Some(di), 0, 2.0).unwrap();
+        st.record_open(
+            0,
+            h,
+            d,
+            OpenCommit {
+                host: None,
+                ds: Some(di),
+                mem_mb: 0,
+                disk_gb: 2.0,
+            },
+        );
+        assert_eq!(st.open_len(), 2);
+        assert_eq!(st.take_open(0, h, d).unwrap().disk_gb, 1.0);
+        assert_eq!(st.take_open(0, h, d).unwrap().disk_gb, 2.0);
+        assert!(st.take_open(0, h, d).is_none());
+        assert_eq!(st.open_len(), 0);
+    }
+}

@@ -44,6 +44,7 @@ pub const SIM_CRATES: &[&str] = &[
     "core",
     "des",
     "faults",
+    "federation",
     "hostagent",
     "inventory",
     "metrics",

@@ -59,6 +59,7 @@
 
 pub mod admission;
 pub mod config;
+pub mod gate;
 pub mod op;
 pub mod placement;
 pub mod plane;
@@ -69,6 +70,7 @@ pub mod task;
 pub use admission::{AdmissionControl, Scope};
 pub use config::{AdmissionLimits, ControlCostModel, ControlPlaneConfig};
 pub use cpsim_faults::{FaultKind, RecoveryPolicy};
+pub use gate::{GateDecision, PlacementGate};
 pub use op::{CloneMode, OpKind, Operation};
 pub use placement::{PlacementPolicy, Placer};
 pub use plane::{ControlPlane, Emit, MgmtEvent};

@@ -18,6 +18,7 @@ use cpsim_storage::{StoragePool, TemplateResidency, TransferEngine, TransferId, 
 
 use crate::admission::{AdmissionControl, Scope};
 use crate::config::ControlPlaneConfig;
+use crate::gate::{GateDecision, PlacementGate};
 use crate::op::{CloneMode, OpKind, Operation};
 use crate::placement::Placer;
 use crate::recovery::FaultInjector;
@@ -147,6 +148,9 @@ pub struct ControlPlane {
     /// Fault-injection state; `None` (the default) leaves every fault
     /// branch untaken and draws no fault randomness.
     faults: Option<FaultInjector>,
+    /// External placement gate; `None` (the default) skips every gate
+    /// branch, so a single-plane simulation is unaffected.
+    gate: Option<Box<dyn PlacementGate>>,
     name_seq: u64,
 }
 
@@ -177,6 +181,7 @@ impl ControlPlane {
             heartbeat_hosts: Vec::new(),
             datastore_order: Vec::new(),
             faults: None,
+            gate: None,
             name_seq: 0,
             cfg,
         }
@@ -308,6 +313,45 @@ impl ControlPlane {
     /// Whether fault injection is installed.
     pub fn faults_enabled(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Installs an external placement gate: every provisioning placement
+    /// is committed against it before admission, and conflicts retry via
+    /// the fault-recovery machinery (install that too, via
+    /// [`enable_faults`](Self::enable_faults), or conflicts abort the
+    /// task on the spot).
+    pub fn set_placement_gate(&mut self, gate: Box<dyn PlacementGate>) {
+        self.gate = Some(gate);
+    }
+
+    /// Whether an external placement gate is installed.
+    pub fn placement_gate_enabled(&self) -> bool {
+        self.gate.is_some()
+    }
+
+    /// Refreshes the mirrored free-capacity view from the gate's
+    /// authoritative store and charges the refresh as background
+    /// management load (one CPU slice + one DB statement), mirroring how
+    /// heartbeats and resyncs are charged. No-op without a gate.
+    pub fn sync_placement_gate(&mut self, now: SimTime, out: &mut Vec<Emit>) {
+        let Some(g) = self.gate.as_mut() else {
+            return;
+        };
+        g.sync(&mut self.inv);
+        self.stats.on_placement_sync();
+        let cpu = self.sample(&self.cfg.cost.result_processing.clone());
+        self.enqueue_cpu(now, Owner::Background, "placement-sync", cpu, out);
+        let db = self.sample(&self.cfg.cost.db_update.clone());
+        self.enqueue_db(now, Owner::Background, "placement-sync", db, out);
+    }
+
+    /// Refreshes the mirrored view without charging any cost: the
+    /// setup-time initial sync, run once after the federation seeds the
+    /// shared pool (not part of the simulated run).
+    pub fn sync_placement_gate_quiet(&mut self) {
+        if let Some(g) = self.gate.as_mut() {
+            g.sync(&mut self.inv);
+        }
     }
 
     /// Initial events: one staggered heartbeat per host. Call once after
@@ -1135,6 +1179,31 @@ impl ControlPlane {
 
     // ---- per-op programs --------------------------------------------------
 
+    /// Commits a freshly-picked placement against the external gate, if
+    /// one is installed. Returns `None` when the task may proceed and the
+    /// retryable failure step when the authoritative store rejected the
+    /// reservation (the gate refreshes the contended datastore's mirror
+    /// before returning, so the retried placement scan picks elsewhere).
+    fn gate_commit(
+        &mut self,
+        host: HostId,
+        ds: DatastoreId,
+        mem_mb: u64,
+        disk_gb: f64,
+    ) -> Option<Step> {
+        let g = self.gate.as_mut()?;
+        match g.commit(&mut self.inv, host, ds, mem_mb, disk_gb) {
+            GateDecision::Commit => {
+                self.stats.on_placement_commit();
+                None
+            }
+            GateDecision::Conflict(reason) => {
+                self.stats.on_placement_conflict();
+                Some(Step::FailRetryable(reason))
+            }
+        }
+    }
+
     fn placement_step(&mut self) -> Step {
         let hosts = self.inv.counts().hosts;
         let base = self.sample(&self.cfg.cost.placement_base.clone());
@@ -1153,6 +1222,9 @@ impl ControlPlane {
                 else {
                     return Step::Fail("placement failed: no capacity".into());
                 };
+                if let Some(step) = self.gate_commit(host, ds, spec.mem_mb, spec.disk_gb) {
+                    return step;
+                }
                 self.tasks
                     .get_mut(tid)
                     .expect("task entry outlives its in-flight events")
@@ -1269,6 +1341,19 @@ impl ControlPlane {
                 let Some((host, ds)) = placement else {
                     return Step::Fail("placement failed: no capacity".into());
                 };
+                // What the commit reserves on `ds`: the full base for a
+                // full clone, the delta for a resident linked clone, and
+                // base + delta when a shadow copy must land first.
+                let commit_gb = if mode == CloneMode::Full {
+                    spec.disk_gb
+                } else if self.residency.is_resident(source, ds) {
+                    self.cfg.linked_delta_gb
+                } else {
+                    spec.disk_gb + self.cfg.linked_delta_gb
+                };
+                if let Some(step) = self.gate_commit(host, ds, spec.mem_mb, commit_gb) {
+                    return step;
+                }
                 self.tasks
                     .get_mut(tid)
                     .expect("task entry outlives its in-flight events")

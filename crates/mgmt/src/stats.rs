@@ -52,6 +52,10 @@ pub struct MgmtStats {
     host_crashes: u64,
     hosts_declared_down: u64,
     resyncs: u64,
+    // Federation counters (all zero without an external placement gate).
+    placement_commits: u64,
+    placement_conflicts: u64,
+    placement_syncs: u64,
 }
 
 impl MgmtStats {
@@ -128,6 +132,22 @@ impl MgmtStats {
         self.resyncs += 1;
     }
 
+    /// Notes one placement accepted by the external placement gate.
+    pub fn on_placement_commit(&mut self) {
+        self.placement_commits += 1;
+    }
+
+    /// Notes one placement rejected by the external placement gate
+    /// (stale-view conflict).
+    pub fn on_placement_conflict(&mut self) {
+        self.placement_conflicts += 1;
+    }
+
+    /// Notes one refresh of the mirrored placement view.
+    pub fn on_placement_sync(&mut self) {
+        self.placement_syncs += 1;
+    }
+
     /// Total phase retries.
     pub fn retries(&self) -> u64 {
         self.retries
@@ -161,6 +181,21 @@ impl MgmtStats {
     /// Total inventory resyncs triggered by fault detection/recovery.
     pub fn resyncs(&self) -> u64 {
         self.resyncs
+    }
+
+    /// Total placements accepted by the external placement gate.
+    pub fn placement_commits(&self) -> u64 {
+        self.placement_commits
+    }
+
+    /// Total placements rejected by the external placement gate.
+    pub fn placement_conflicts(&self) -> u64 {
+        self.placement_conflicts
+    }
+
+    /// Total refreshes of the mirrored placement view.
+    pub fn placement_syncs(&self) -> u64 {
+        self.placement_syncs
     }
 
     /// Total submissions.
@@ -228,6 +263,9 @@ impl MgmtStats {
         self.host_crashes += other.host_crashes;
         self.hosts_declared_down += other.hosts_declared_down;
         self.resyncs += other.resyncs;
+        self.placement_commits += other.placement_commits;
+        self.placement_conflicts += other.placement_conflicts;
+        self.placement_syncs += other.placement_syncs;
     }
 }
 

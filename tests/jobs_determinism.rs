@@ -62,6 +62,8 @@ identical!(
     f11_jobs_identical => "f11",
     f12_jobs_identical => "f12",
     t3_jobs_identical => "t3",
+    f13_jobs_identical => "f13",
+    f14_jobs_identical => "f14",
 );
 
 mod properties {
