@@ -1,12 +1,14 @@
-//! Microbenchmarks of the four-ary event queue: raw schedule/pop
+//! Microbenchmarks of the timer-wheel event queue: raw schedule/pop
 //! throughput, the fused `pop_if_before` horizon drain used by
-//! `Simulation::run_until`, and keyed cancellation with tombstone
-//! compaction.
+//! `Simulation::run_until`, keyed cancellation with tombstone
+//! compaction, and the periodic-heartbeat pattern that motivated the
+//! wheel — measured against [`ReferenceQueue`], the four-ary heap it
+//! replaced.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use cpsim_des::{EventQueue, SimTime};
+use cpsim_des::{EventQueue, ReferenceQueue, SimDuration, SimTime};
 
 /// Pseudo-random but deterministic schedule times that stress the heap
 /// (no pre-sorted or reverse-sorted luck).
@@ -95,10 +97,69 @@ fn bench_keyed_cancel(c: &mut Criterion) {
     g.finish();
 }
 
+/// The workload the wheel was built for: `hosts` periodic heartbeat
+/// timers at a fixed `period`, phases scattered across it. Every pop
+/// re-arms the firing host's timer one period out (keyed, so a reset can
+/// cancel it), and every 7th beat also resets a *neighbor's* pending
+/// timer — cancel plus early re-arm — the way a host state change
+/// re-arms its watchdog before the old deadline.
+///
+/// One macro so the wheel and the reference heap run byte-identical
+/// schedules.
+macro_rules! periodic_heartbeats {
+    ($new:expr, $hosts:expr, $beats:expr) => {{
+        let hosts: u64 = $hosts;
+        let beats: u64 = $beats;
+        let period = SimDuration::from_micros(10_000_000);
+        let half = SimDuration::from_micros(5_000_000);
+        let mut q = $new;
+        let mut keys: Vec<_> = (0..hosts)
+            .map(|h| {
+                // Scatter phases over one period, deterministically.
+                let phase = (h.wrapping_mul(2_654_435_761)) % 10_000_000;
+                q.schedule_keyed(SimTime::from_micros(phase), h)
+            })
+            .collect();
+        let mut fired = 0u64;
+        let mut cancels = 0u64;
+        while fired < beats {
+            let (t, h) = q.pop().expect("heartbeats re-arm forever");
+            fired += 1;
+            keys[h as usize] = q.schedule_keyed(t + period, h);
+            if fired % 7 == 0 {
+                // Watchdog reset on the neighbor: its timer is pending
+                // (just re-armed or still waiting), so the cancel is live.
+                let other = ((h + 1) % hosts) as usize;
+                if q.cancel(keys[other]) {
+                    cancels += 1;
+                    keys[other] = q.schedule_keyed(t + half, other as u64);
+                }
+            }
+        }
+        black_box((fired, cancels, q.len()))
+    }};
+}
+
+fn bench_periodic_heartbeats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    for &hosts in &[256u64, 4096] {
+        let beats = 40 * hosts;
+        g.throughput(Throughput::Elements(beats));
+        g.bench_function(format!("heartbeats-wheel-{hosts}-hosts"), |b| {
+            b.iter(|| periodic_heartbeats!(EventQueue::new(), hosts, beats));
+        });
+        g.bench_function(format!("heartbeats-heap-{hosts}-hosts"), |b| {
+            b.iter(|| periodic_heartbeats!(ReferenceQueue::new(), hosts, beats));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedule_pop,
     bench_pop_if_before,
-    bench_keyed_cancel
+    bench_keyed_cancel,
+    bench_periodic_heartbeats
 );
 criterion_main!(benches);

@@ -166,16 +166,21 @@ pub fn listing() -> String {
 }
 
 /// [`listing`], with each experiment's last recorded throughput appended
-/// when the baseline has an entry for it.
+/// when the bench record has an entry for it.
+///
+/// An experiment absent from a non-empty record is annotated explicitly
+/// (`no recorded run`) instead of silently keeping the plain line: an
+/// older `BENCH_suite.json` predating a newly added experiment would
+/// otherwise be indistinguishable from having no record at all.
 pub fn listing_with_baseline(baseline: &[(String, BaselineRecord)]) -> String {
     all()
         .iter()
         .map(|e| {
-            let recorded = baseline
-                .iter()
-                .find(|(id, _)| id == e.id)
-                .map(|(_, b)| format!("  last {}: {:.0} events/s", b.scale, b.events_per_sec))
-                .unwrap_or_default();
+            let recorded = match baseline.iter().find(|(id, _)| id == e.id) {
+                Some((_, b)) => format!("  last {}: {:.0} events/s", b.scale, b.events_per_sec),
+                None if !baseline.is_empty() => "  (no recorded run)".to_string(),
+                None => String::new(),
+            };
             let marker = if e.federated { "  [federated]" } else { "" };
             format!(
                 "  {:4} {}  [{} quick / {} full sweep points]{}{}",
@@ -633,9 +638,17 @@ mod tests {
         let baseline = parse_bench_json(&bench_json(&[rec("t1", 123_456.0, "full")])).unwrap();
         let l = listing_with_baseline(&baseline);
         assert!(l.contains("last full: 123456 events/s"));
-        // Experiments without a record keep their plain line.
+        // Experiments the record predates are called out, not silent.
         assert!(l.contains("f12"));
+        assert!(l.contains("(no recorded run)"), "{l}");
         assert_eq!(l.matches("events/s").count(), 1);
+    }
+
+    #[test]
+    fn listing_without_baseline_stays_plain() {
+        let l = listing_with_baseline(&[]);
+        assert_eq!(l.matches("events/s").count(), 0);
+        assert!(!l.contains("(no recorded run)"), "{l}");
     }
 
     #[test]

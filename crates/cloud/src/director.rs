@@ -1,9 +1,7 @@
 //! The [`CloudDirector`]: translates cloud requests into chains of
 //! management operations and tracks workflow completion.
 
-use std::collections::BTreeMap;
-
-use cpsim_des::SimTime;
+use cpsim_des::{FastMap, SimTime};
 use cpsim_inventory::{Arena, OrgId, PowerState, VappId, VmId};
 use cpsim_mgmt::{CloneMode, ControlPlane, Emit, OpKind, Operation, TaskReport};
 
@@ -145,8 +143,12 @@ pub struct CloudDirector {
     vapps: Arena<VappId, Vapp>,
     templates: Vec<VmId>,
     policy: ProvisioningPolicy,
-    workflows: BTreeMap<u64, Workflow>,
-    ctx: BTreeMap<u64, OpCtx>,
+    /// In-flight workflows and per-task contexts, by tag. Accessed by
+    /// key only (insert / get / remove / len); never iterated.
+    // cpsim-lint: allow(no-unordered-iteration): keyed access only; never iterated
+    workflows: FastMap<u64, Workflow>,
+    // cpsim-lint: allow(no-unordered-iteration): keyed access only; never iterated
+    ctx: FastMap<u64, OpCtx>,
     next_wf: u64,
     next_tag: u64,
     stats: CloudStats,
@@ -161,8 +163,8 @@ impl CloudDirector {
             vapps: Arena::new(),
             templates: Vec::new(),
             policy,
-            workflows: BTreeMap::new(),
-            ctx: BTreeMap::new(),
+            workflows: FastMap::default(),
+            ctx: FastMap::default(),
             next_wf: 1,
             // Tag 0 is reserved for untracked (directly submitted) ops.
             next_tag: 1,

@@ -41,6 +41,8 @@ pub struct CloudModel {
     /// Reused emission buffer: the plane appends into this on every
     /// dispatched event instead of allocating a fresh `Vec` per event.
     scratch: Vec<Emit>,
+    /// Pooled routing stack reused across events (see `route_stack`).
+    route_buf: Vec<CloudOut>,
 }
 
 impl CloudModel {
@@ -89,15 +91,17 @@ impl CloudModel {
     }
 
     fn route(&mut self, now: SimTime, out: CloudOut, queue: &mut EventQueue<CoreEvent>) {
-        let mut stack = vec![out];
+        let mut stack = std::mem::take(&mut self.route_buf);
+        stack.push(out);
         self.route_stack(now, &mut stack, queue);
+        self.route_buf = stack;
     }
 
     /// Routes the plane emissions accumulated in `self.scratch`, leaving
     /// the (emptied) buffer in place for the next event.
     fn route_scratch(&mut self, now: SimTime, queue: &mut EventQueue<CoreEvent>) {
         let mut emits = std::mem::take(&mut self.scratch);
-        let mut stack = Vec::new();
+        let mut stack = std::mem::take(&mut self.route_buf);
         for e in emits.drain(..) {
             if let Some(child) = self.consume_emit(now, e, queue) {
                 stack.push(child);
@@ -105,6 +109,7 @@ impl CloudModel {
         }
         self.scratch = emits;
         self.route_stack(now, &mut stack, queue);
+        self.route_buf = stack;
     }
 
     fn submit_cloud(&mut self, now: SimTime, req: CloudRequest, queue: &mut EventQueue<CoreEvent>) {
@@ -201,6 +206,7 @@ impl CloudSim {
             templates,
             org,
             scratch: Vec::new(),
+            route_buf: Vec::new(),
         };
         let mut sim = Simulation::new(model);
         for e in init {

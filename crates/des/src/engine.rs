@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::queue::EventQueue;
+use crate::wheel::EventQueue;
 use crate::time::SimTime;
 
 /// Process-wide tally of events handled by every [`Simulation`], flushed at

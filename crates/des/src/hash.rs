@@ -1,0 +1,133 @@
+//! A fast, deterministic hasher for the simulator's keyed-only maps.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3, which buys
+//! hash-flooding resistance the simulator does not need: its maps are
+//! keyed by dense internal ids (sequence numbers, arena handles, tags),
+//! none of which are attacker-controlled, and several sit on the
+//! per-event hot path where SipHash's per-key cost is measurable.
+//!
+//! [`FxHasher`] is the multiply-xor hash used by the Rust compiler's
+//! internals: one rotate, one xor, and one multiply per word of input.
+//! It is fully deterministic across runs, platforms, and process
+//! restarts (no random seed), so swapping it in cannot perturb
+//! simulation traces — with the standing caveat (enforced by
+//! `cpsim-lint`) that hash-map *iteration order* must never reach an
+//! emit path, since it shifts whenever the hasher, capacity, or
+//! insertion history does.
+//!
+//! Use the [`FastMap`]/[`FastSet`] aliases for hot keyed-only maps; keep
+//! `BTreeMap` wherever iteration order is observable by design.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`]: for keyed-only access patterns on
+/// hot paths. Iteration order must never be observed.
+// cpsim-lint: allow(no-unordered-iteration): alias definition; every use site carries its own keyed-only justification
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` backed by [`FxHasher`]: membership probes only.
+// cpsim-lint: allow(no-unordered-iteration): alias definition; every use site carries its own keyed-only justification
+pub type FastSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Multiplier from the FxHash scheme: a weak-avalanche odd constant
+/// (derived from the golden ratio) that spreads low-entropy integer keys
+/// well enough for hashbrown's 7-bit control-byte probing.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style multiply-xor hasher. Deterministic: zero state, no
+/// per-process seed.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail word so "ab" != "ab\0".
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+        let mut s: FastSet<(u32, u32)> = FastSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn distinct_strings_hash_distinctly() {
+        use std::hash::BuildHasher;
+        let b = BuildHasherDefault::<FxHasher>::default();
+        // Not a collision-resistance claim — just a smoke test that the
+        // tail length-tag separates prefix-equal keys.
+        assert_ne!(b.hash_one("create-vm"), b.hash_one("create-v"));
+        assert_ne!(b.hash_one(""), b.hash_one("\0"));
+    }
+}

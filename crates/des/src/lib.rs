@@ -48,14 +48,20 @@
 
 pub mod dist;
 pub mod engine;
+pub mod hash;
 pub mod queue;
+pub mod reference;
 pub mod resource;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use dist::{Dist, DistError};
 pub use engine::{global_events_processed, Model, RunOutcome, Simulation};
-pub use queue::{EventKey, EventQueue, TimerToken, TokenGen};
+pub use hash::{FastMap, FastSet, FxHasher};
+pub use queue::{TimerToken, TokenGen};
+pub use reference::ReferenceQueue;
+pub use wheel::{EventKey, EventQueue};
 pub use resource::bandwidth::{SharedBandwidth, TransferDone, TransferPlan};
 pub use resource::fifo::FifoQueue;
 pub use resource::slots::SlotPool;

@@ -17,11 +17,10 @@
 //!    [`MIG_TAG_BASE`] are reserved for the migration machinery).
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use cpsim_cloud::{CloudDirector, CloudOut, CloudReport, CloudRequest};
-use cpsim_des::{EventQueue, Model, SimDuration, SimTime, Simulation};
+use cpsim_des::{EventQueue, FastMap, Model, SimDuration, SimTime, Simulation};
 use cpsim_inventory::{DatastoreId, HostId, OrgId, VappId, VmId};
 use cpsim_mgmt::{CloneMode, ControlPlane, Emit, MgmtEvent, OpKind, Operation, TaskReport};
 use cpsim_workload::TraceLog;
@@ -112,12 +111,18 @@ pub struct FedModel {
     staleness: SimDuration,
     handoff_delay: SimDuration,
     keep_task_reports: bool,
-    migrations: BTreeMap<u64, Migration>,
+    /// In-flight migrations by id. Accessed by key only (get / insert /
+    /// remove / len); completion order is recorded in `migration_reports`.
+    // cpsim-lint: allow(no-unordered-iteration): keyed access only; never iterated
+    migrations: FastMap<u64, Migration>,
     next_migration_id: u64,
     migration_reports: Vec<MigrationReport>,
     /// Open ledger reservations held by completed placements, keyed by
     /// `(shard, vm)` so a later destroy releases the shared capacity.
-    reservations: BTreeMap<(usize, VmId), OpenCommit>,
+    // cpsim-lint: allow(no-unordered-iteration): keyed insert/remove only; never iterated
+    reservations: FastMap<(usize, VmId), OpenCommit>,
+    /// Pooled routing stack reused across events (see `route_stack`).
+    route_buf: Vec<CloudOut>,
 }
 
 impl FedModel {
@@ -248,15 +253,17 @@ impl FedModel {
     }
 
     fn route(&mut self, now: SimTime, s: usize, out: CloudOut, queue: &mut EventQueue<FedEvent>) {
-        let mut stack = vec![out];
+        let mut stack = std::mem::take(&mut self.route_buf);
+        stack.push(out);
         self.route_stack(now, s, &mut stack, queue);
+        self.route_buf = stack;
     }
 
     /// Routes the plane emissions accumulated in shard `s`'s scratch
     /// buffer, leaving the (emptied) buffer in place for the next event.
     fn route_scratch(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<FedEvent>) {
         let mut emits = std::mem::take(&mut self.shards[s].scratch);
-        let mut stack = Vec::new();
+        let mut stack = std::mem::take(&mut self.route_buf);
         for e in emits.drain(..) {
             if let Some(child) = self.consume_emit(now, s, e, queue) {
                 stack.push(child);
@@ -264,6 +271,7 @@ impl FedModel {
         }
         self.shards[s].scratch = emits;
         self.route_stack(now, s, &mut stack, queue);
+        self.route_buf = stack;
     }
 
     fn submit_cloud(
@@ -404,10 +412,11 @@ impl FedSim {
             staleness,
             handoff_delay,
             keep_task_reports: false,
-            migrations: BTreeMap::new(),
+            migrations: FastMap::default(),
             next_migration_id: 0,
             migration_reports: Vec::new(),
-            reservations: BTreeMap::new(),
+            reservations: FastMap::default(),
+            route_buf: Vec::new(),
         };
         let mut sim = Simulation::new(model);
         for (s, emits) in init {

@@ -1,6 +1,6 @@
 //! The [`AgentFleet`]: one bounded-concurrency agent per host.
 
-use std::collections::BTreeMap;
+use cpsim_des::FastMap;
 use std::fmt;
 
 use cpsim_des::{FifoQueue, SimDuration, SimRng, SimTime};
@@ -75,16 +75,28 @@ pub struct CrashReport<J> {
     pub dropped: Vec<(Primitive, J)>,
 }
 
+/// One host's agent: its bounded-concurrency queue plus the jobs
+/// currently in service (the FIFO queue hands payloads back to the
+/// caller at service start and does not retain them, so crashes need
+/// this list to know what they interrupt).
+struct HostAgent<J> {
+    queue: FifoQueue<(Primitive, J, ServiceMod)>,
+    in_service: Vec<(Primitive, J)>,
+}
+
 /// Per-host agents with bounded concurrency and FIFO overflow queues.
+///
+/// Both maps are keyed lookups on the submit/complete hot path; the only
+/// iteration ([`served`](Self::served)) sums an integer counter, so hash
+/// ordering cannot leak into event order.
+// cpsim-lint: allow(no-unordered-iteration): served() sums u64 counters; order never observed
 pub struct AgentFleet<J> {
-    agents: BTreeMap<HostId, FifoQueue<(Primitive, J, ServiceMod)>>,
-    /// Jobs currently in service per host; needed to identify what a
-    /// crash interrupts (the FIFO queue hands payloads back to the caller
-    /// at service start and does not retain them).
-    in_service_jobs: BTreeMap<HostId, Vec<(Primitive, J)>>,
+    agents: FastMap<HostId, HostAgent<J>>,
     /// Crash generation per host. Bumped on every crash so the control
     /// plane can discard completion events scheduled before the crash.
-    epochs: BTreeMap<HostId, u64>,
+    /// Kept outside [`HostAgent`]: an epoch outlives host removal, so a
+    /// re-added host keeps counting from its last crash.
+    epochs: FastMap<HostId, u64>,
     cost: HostCostModel,
     rng: SimRng,
 }
@@ -93,9 +105,8 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
     /// Creates a fleet with the given cost model and service-time RNG.
     pub fn new(cost: HostCostModel, rng: SimRng) -> Self {
         AgentFleet {
-            agents: BTreeMap::new(),
-            in_service_jobs: BTreeMap::new(),
-            epochs: BTreeMap::new(),
+            agents: FastMap::default(),
+            epochs: FastMap::default(),
             cost,
             rng,
         }
@@ -108,8 +119,13 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
     ///
     /// Panics if `concurrency` is zero.
     pub fn add_host(&mut self, host: HostId, concurrency: u32) {
-        self.agents.insert(host, FifoQueue::new(concurrency));
-        self.in_service_jobs.insert(host, Vec::new());
+        self.agents.insert(
+            host,
+            HostAgent {
+                queue: FifoQueue::new(concurrency),
+                in_service: Vec::new(),
+            },
+        );
     }
 
     /// Deregisters `host`'s agent.
@@ -122,11 +138,10 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
             .agents
             .get(&host)
             .ok_or(HostAgentError::UnknownHost(host))?;
-        if agent.in_service() > 0 || agent.queue_len() > 0 {
+        if agent.queue.in_service() > 0 || agent.queue.queue_len() > 0 {
             return Err(HostAgentError::HostBusy(host));
         }
         self.agents.remove(&host);
-        self.in_service_jobs.remove(&host);
         Ok(())
     }
 
@@ -162,13 +177,11 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
             .get_mut(&host)
             .ok_or(HostAgentError::UnknownHost(host))?;
         let started = agent
+            .queue
             .arrive(now, (primitive, job, service_mod))
             .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng));
         if let Some(s) = &started {
-            self.in_service_jobs
-                .get_mut(&host)
-                .expect("agent without in-service tracking")
-                .push((s.primitive, s.job));
+            agent.in_service.push((s.primitive, s.job));
         }
         Ok(started)
     }
@@ -195,20 +208,18 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
             .agents
             .get_mut(&host)
             .ok_or(HostAgentError::UnknownHost(host))?;
-        let in_service = self
-            .in_service_jobs
-            .get_mut(&host)
-            .ok_or(HostAgentError::UnknownHost(host))?;
-        let pos = in_service
+        let pos = agent
+            .in_service
             .iter()
             .position(|(_, j)| *j == finished)
             .expect("complete() for a job not in service");
-        in_service.swap_remove(pos);
+        agent.in_service.swap_remove(pos);
         let started = agent
+            .queue
             .complete(now)
             .map(|adm| Self::to_start(adm, &self.cost, &mut self.rng));
         if let Some(s) = &started {
-            in_service.push((s.primitive, s.job));
+            agent.in_service.push((s.primitive, s.job));
         }
         Ok(started)
     }
@@ -231,15 +242,12 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
             .get_mut(&host)
             .ok_or(HostAgentError::UnknownHost(host))?;
         let dropped = agent
+            .queue
             .fail_all(now)
             .into_iter()
             .map(|(p, j, _)| (p, j))
             .collect();
-        let interrupted = std::mem::take(
-            self.in_service_jobs
-                .get_mut(&host)
-                .ok_or(HostAgentError::UnknownHost(host))?,
-        );
+        let interrupted = std::mem::take(&mut agent.in_service);
         *self.epochs.entry(host).or_insert(0) += 1;
         Ok(CrashReport {
             interrupted,
@@ -255,22 +263,24 @@ impl<J: Copy + PartialEq> AgentFleet<J> {
 
     /// Primitives currently in service on `host`.
     pub fn in_service(&self, host: HostId) -> u32 {
-        self.agents.get(&host).map_or(0, |a| a.in_service())
+        self.agents.get(&host).map_or(0, |a| a.queue.in_service())
     }
 
     /// Primitives queued at `host`.
     pub fn queue_len(&self, host: HostId) -> usize {
-        self.agents.get(&host).map_or(0, |a| a.queue_len())
+        self.agents.get(&host).map_or(0, |a| a.queue.queue_len())
     }
 
     /// Mean busy fraction of `host`'s agent through `now`.
     pub fn utilization(&self, host: HostId, now: SimTime) -> f64 {
-        self.agents.get(&host).map_or(0.0, |a| a.utilization(now))
+        self.agents
+            .get(&host)
+            .map_or(0.0, |a| a.queue.utilization(now))
     }
 
     /// Total primitives that have entered service across all hosts.
     pub fn served(&self) -> u64 {
-        self.agents.values().map(|a| a.served()).sum()
+        self.agents.values().map(|a| a.queue.served()).sum()
     }
 
     /// The cost model in use.

@@ -61,6 +61,7 @@ pub const HARNESS_DIRS: &[&str] = &["crates/bench/src", "src", "examples"];
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/des/src/engine.rs",
     "crates/des/src/queue.rs",
+    "crates/des/src/wheel.rs",
     "crates/mgmt/src/admission.rs",
     "crates/mgmt/src/placement.rs",
     "crates/mgmt/src/plane.rs",

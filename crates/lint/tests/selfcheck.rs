@@ -87,11 +87,15 @@ fn every_in_tree_suppression_carries_a_reason() {
             }
         }
     }
-    // The workspace currently carries a small, audited set of allows
-    // (event-queue seq sets, two admission lock panics, one clone-mode
-    // unreachable). Growing this number should be a conscious choice.
+    // The workspace currently carries a small, audited set of allows:
+    // event-queue seq sets (wheel + reference oracle), the two FastMap/
+    // FastSet alias definitions, the keyed-only FastMap fields (director
+    // workflows/ctx, federation migrations/reservations, fleet agents,
+    // plane transfer owners, admission gates, stats phase totals), two
+    // admission lock panics, and one clone-mode unreachable. Growing
+    // this number should be a conscious choice.
     assert!(
-        allows <= 12,
+        allows <= 15,
         "suppression count grew to {allows}; audit new allows before raising this bound"
     );
 }

@@ -13,6 +13,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use cpsim_des::FastMap;
+
 use cpsim_des::SlotPool;
 use cpsim_inventory::{DatastoreId, HostId, TaskId, VmId};
 
@@ -92,9 +94,14 @@ enum Blocker {
 pub struct AdmissionControl {
     limits: AdmissionLimits,
     global: SlotPool,
-    per_host: BTreeMap<HostId, SlotPool>,
-    per_ds: BTreeMap<DatastoreId, SlotPool>,
-    vm_locks: BTreeMap<VmId, VmLock>,
+    /// The three capacity tables are keyed lookups on the acquire/release
+    /// hot path and are never iterated, so hash ordering cannot leak into
+    /// event order. The pending-queue structures below stay ordered: FIFO
+    /// offer order is observable.
+    // cpsim-lint: allow(no-unordered-iteration): keyed get/insert/remove only; iteration order is never observed
+    per_host: FastMap<HostId, SlotPool>,
+    per_ds: FastMap<DatastoreId, SlotPool>,
+    vm_locks: FastMap<VmId, VmLock>,
     /// Parked tasks keyed by arrival sequence; ascending key order is the
     /// FIFO offer order. Each entry remembers the blocker it waits on.
     pending: BTreeMap<u64, (TaskId, Scope, Blocker)>,
@@ -113,9 +120,9 @@ impl AdmissionControl {
         AdmissionControl {
             limits,
             global: SlotPool::new(limits.global),
-            per_host: BTreeMap::new(),
-            per_ds: BTreeMap::new(),
-            vm_locks: BTreeMap::new(),
+            per_host: FastMap::default(),
+            per_ds: FastMap::default(),
+            vm_locks: FastMap::default(),
             pending: BTreeMap::new(),
             blocked_on: BTreeMap::new(),
             freed: BTreeSet::new(),

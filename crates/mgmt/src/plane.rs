@@ -5,7 +5,7 @@
 //! deliver [`MgmtEvent`]s with explicit timestamps via
 //! [`ControlPlane::handle`] and route the returned [`Emit`]s.
 
-use std::collections::BTreeMap;
+use cpsim_des::FastMap;
 
 use cpsim_des::{FifoQueue, SimDuration, SimRng, SimTime, Streams};
 use cpsim_faults::{FaultKind, RecoveryPolicy};
@@ -136,7 +136,11 @@ pub struct ControlPlane {
     db: FifoQueue<ServiceJob>,
     agents: AgentFleet<TaskId>,
     transfers: TransferEngine,
-    transfer_owner: BTreeMap<TransferId, TransferOwner>,
+    /// Keyed lookups only (insert on start, remove on completion) — the
+    /// map is never iterated, so hash ordering cannot leak into event
+    /// order.
+    // cpsim-lint: allow(no-unordered-iteration): keyed insert/remove only; iteration order is never observed
+    transfer_owner: FastMap<TransferId, TransferOwner>,
     admission: AdmissionControl,
     tasks: Arena<TaskId, Task>,
     placer: Placer,
@@ -170,7 +174,7 @@ impl ControlPlane {
             admission: AdmissionControl::new(cfg.limits),
             agents,
             transfers: TransferEngine::new(),
-            transfer_owner: BTreeMap::new(),
+            transfer_owner: FastMap::default(),
             inv: Inventory::new(),
             storage: StoragePool::new(),
             residency: TemplateResidency::new(),
@@ -339,9 +343,9 @@ impl ControlPlane {
         };
         g.sync(&mut self.inv);
         self.stats.on_placement_sync();
-        let cpu = self.sample(&self.cfg.cost.result_processing.clone());
+        let cpu = Self::sample_cost(&self.cfg.cost.result_processing, &mut self.rng);
         self.enqueue_cpu(now, Owner::Background, "placement-sync", cpu, out);
-        let db = self.sample(&self.cfg.cost.db_update.clone());
+        let db = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
         self.enqueue_db(now, Owner::Background, "placement-sync", db, out);
     }
 
@@ -668,9 +672,9 @@ impl ControlPlane {
     /// management load (host declared down, or reconnected after one).
     fn charge_resync(&mut self, now: SimTime, out: &mut Vec<Emit>) {
         self.stats.on_resync();
-        let cpu = self.sample(&self.cfg.cost.host_sync.clone());
+        let cpu = Self::sample_cost(&self.cfg.cost.host_sync, &mut self.rng);
         self.enqueue_cpu(now, Owner::Background, "host-resync", cpu, out);
-        let db = self.sample(&self.cfg.cost.db_update.clone());
+        let db = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
         self.enqueue_db(now, Owner::Background, "host-resync", db, out);
     }
 
@@ -865,6 +869,7 @@ impl ControlPlane {
             task.rolled_back = true;
             self.stats.on_rollback();
         }
+        let failed = error.is_some();
         let report = TaskReport {
             kind: task.op.kind.name(),
             tag: task.op.tag,
@@ -880,18 +885,18 @@ impl ControlPlane {
             produced_vm: task.produced_vm,
             target_vm: task.target_vm,
             placement: task.placement,
-            error: error.clone(),
+            error,
             retries: task.retries,
             aborted: task.aborted,
             rolled_back: task.rolled_back,
-            breakdown: task.breakdown.clone(),
+            breakdown: std::mem::take(&mut task.breakdown),
         };
         self.stats.on_finished(&report);
         let kind = report.kind;
-        out.push(if error.is_none() {
-            Emit::Done(tid, report)
-        } else {
+        out.push(if failed {
             Emit::Failed(tid, report)
+        } else {
+            Emit::Done(tid, report)
         });
         if let Some(scope) = task.scope {
             let resumed = self.admission.release(&scope);
@@ -1123,8 +1128,11 @@ impl ControlPlane {
         }
     }
 
-    fn sample(&mut self, dist: &cpsim_des::Dist) -> SimDuration {
-        SimDuration::from_secs_f64(dist.sample(&mut self.rng))
+    /// Samples a cost distribution. An associated function (not a method)
+    /// so call sites can borrow the distribution out of `self.cfg` while
+    /// handing the rng out of `self.rng` — no per-sample `Dist` clone.
+    fn sample_cost(dist: &cpsim_des::Dist, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(dist.sample(rng))
     }
 
     fn next_clone_name(&mut self) -> String {
@@ -1144,7 +1152,7 @@ impl ControlPlane {
 
         // Shared prelude for every operation.
         if stage == 1 {
-            let d = self.sample(&self.cfg.cost.api_ingress.clone());
+            let d = Self::sample_cost(&self.cfg.cost.api_ingress, &mut self.rng);
             return Step::Cpu("api-ingress", d);
         }
         if stage == 2 {
@@ -1152,7 +1160,7 @@ impl ControlPlane {
                 // Batching folds the task record into the first real write.
                 return Step::Continue;
             }
-            let d = self.sample(&self.cfg.cost.db_task_record.clone());
+            let d = Self::sample_cost(&self.cfg.cost.db_task_record, &mut self.rng);
             return Step::Db("task-record", d);
         }
 
@@ -1206,7 +1214,7 @@ impl ControlPlane {
 
     fn placement_step(&mut self) -> Step {
         let hosts = self.inv.counts().hosts;
-        let base = self.sample(&self.cfg.cost.placement_base.clone());
+        let base = Self::sample_cost(&self.cfg.cost.placement_base, &mut self.rng);
         let per_host =
             SimDuration::from_secs_f64(self.cfg.cost.placement_per_host_us * 1e-6 * hosts as f64);
         Step::Cpu("placement", base + per_host)
@@ -1232,7 +1240,7 @@ impl ControlPlane {
                 Step::Acquire(Scope::global_only().with_host(host).with_datastore(ds))
             }
             5 => {
-                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_insert, &mut self.rng);
                 Step::Db("insert-vm", d)
             }
             6 => {
@@ -1267,15 +1275,15 @@ impl ControlPlane {
             7 => Step::Agent(self.placed_host(tid), Primitive::CreateVmFiles),
             8 => Step::Agent(self.placed_host(tid), Primitive::RegisterVm),
             9 => {
-                let d = self.sample(&self.cfg.cost.result_processing.clone());
+                let d = Self::sample_cost(&self.cfg.cost.result_processing, &mut self.rng);
                 Step::Cpu("result-processing", d)
             }
             10 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("finalize-records", d)
             }
             11 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1288,7 +1296,7 @@ impl ControlPlane {
                 if mode == CloneMode::Instant {
                     // No placement scan: the fork lands on the parent's
                     // host and datastore by construction.
-                    let d = self.sample(&self.cfg.cost.placement_base.clone());
+                    let d = Self::sample_cost(&self.cfg.cost.placement_base, &mut self.rng);
                     return Step::Cpu("placement", d);
                 }
                 self.placement_step()
@@ -1378,7 +1386,7 @@ impl ControlPlane {
                 Step::Agent(src_host, prim)
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_insert, &mut self.rng);
                 Step::Db("insert-vm", d)
             }
             7 => {
@@ -1563,15 +1571,15 @@ impl ControlPlane {
             }
             10 => Step::Agent(self.placed_host(tid), Primitive::RegisterVm),
             11 => {
-                let d = self.sample(&self.cfg.cost.result_processing.clone());
+                let d = Self::sample_cost(&self.cfg.cost.result_processing, &mut self.rng);
                 Step::Cpu("result-processing", d)
             }
             12 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("finalize-records", d)
             }
             13 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1617,11 +1625,11 @@ impl ControlPlane {
                 }
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-power-state", d)
             }
             7 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1655,11 +1663,11 @@ impl ControlPlane {
             }
             4 => Step::Agent(self.placed_host(tid), primitive),
             5 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-config", d)
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1707,11 +1715,11 @@ impl ControlPlane {
                 }
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-snapshot", d)
             }
             7 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1764,11 +1772,11 @@ impl ControlPlane {
                 }
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-snapshot", d)
             }
             7 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1809,15 +1817,15 @@ impl ControlPlane {
                 Step::Continue
             }
             7 => {
-                let d = self.sample(&self.cfg.cost.result_processing.clone());
+                let d = Self::sample_cost(&self.cfg.cost.result_processing, &mut self.rng);
                 Step::Cpu("result-processing", d)
             }
             8 => {
-                let d = self.sample(&self.cfg.cost.db_delete.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_delete, &mut self.rng);
                 Step::Db("delete-records", d)
             }
             9 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1863,11 +1871,11 @@ impl ControlPlane {
                 }
             }
             8 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-placement", d)
             }
             9 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -1953,11 +1961,11 @@ impl ControlPlane {
             }
             6 => Step::Agent(self.placed_host(tid), Primitive::ReconfigureVm),
             7 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-placement", d)
             }
             8 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -2007,11 +2015,11 @@ impl ControlPlane {
                 Step::Continue
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_insert, &mut self.rng);
                 Step::Db("insert-replica", d)
             }
             7 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -2029,11 +2037,11 @@ impl ControlPlane {
     ) -> Step {
         match stage {
             3 => {
-                let d = self.sample(&self.cfg.cost.host_sync.clone());
+                let d = Self::sample_cost(&self.cfg.cost.host_sync, &mut self.rng);
                 Step::Cpu("host-sync", d)
             }
             4 => {
-                let d = self.sample(&self.cfg.cost.db_insert.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_insert, &mut self.rng);
                 Step::Db("insert-host", d)
             }
             5 => {
@@ -2059,7 +2067,7 @@ impl ControlPlane {
                 Step::Continue
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,
@@ -2087,11 +2095,11 @@ impl ControlPlane {
             }
             4 => Step::Agent(host, Primitive::MountDatastore),
             5 => {
-                let d = self.sample(&self.cfg.cost.db_update.clone());
+                let d = Self::sample_cost(&self.cfg.cost.db_update, &mut self.rng);
                 Step::Db("update-storage", d)
             }
             6 => {
-                let d = self.sample(&self.cfg.cost.finalize.clone());
+                let d = Self::sample_cost(&self.cfg.cost.finalize, &mut self.rng);
                 Step::Cpu("finalize", d)
             }
             _ => Step::Done,

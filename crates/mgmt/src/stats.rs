@@ -1,7 +1,7 @@
 //! Control-plane statistics: per-operation latency distributions with the
 //! control/data split, and phase-level cost accounting.
 
-use std::collections::BTreeMap;
+use cpsim_des::FastMap;
 
 use cpsim_metrics::Histogram;
 
@@ -40,10 +40,18 @@ pub struct KindStats {
 #[derive(Clone, Debug, Default)]
 pub struct MgmtStats {
     submitted: u64,
-    by_kind: BTreeMap<&'static str, KindStats>,
+    /// Per-kind stats, kept sorted by kind name: the dozen-odd kinds make
+    /// a binary-searched vector cheaper than a tree on the per-task
+    /// record path, and iteration order stays deterministic for free.
+    by_kind: Vec<(&'static str, KindStats)>,
     /// Sum of service seconds by (kind, class, label) — the data behind
-    /// the per-phase cost-breakdown table.
-    phase_totals: BTreeMap<(&'static str, &'static str, &'static str), (f64, u64)>,
+    /// the per-phase cost-breakdown table. Accumulated in a hash map (one
+    /// probe per breakdown row beats a string-tuple tree comparison at
+    /// every node); [`phase_totals`](Self::phase_totals) sorts on access,
+    /// and per-key accumulation order is chronological either way, so the
+    /// emitted totals are bit-identical to the ordered-map ones.
+    // cpsim-lint: allow(no-unordered-iteration): accessor sorts before exposing; per-key += is order-independent
+    phase_totals: FastMap<(&'static str, &'static str, &'static str), (f64, u64)>,
     // Fault-injection counters (all zero in fault-free runs).
     retries: u64,
     aborts: u64,
@@ -69,9 +77,24 @@ impl MgmtStats {
         self.submitted += 1;
     }
 
+    /// The entry for `kind`, inserted at its sorted position if new.
+    fn kind_entry<'a>(
+        by_kind: &'a mut Vec<(&'static str, KindStats)>,
+        kind: &'static str,
+    ) -> &'a mut KindStats {
+        let i = match by_kind.binary_search_by_key(&kind, |(k, _)| *k) {
+            Ok(i) => i,
+            Err(i) => {
+                by_kind.insert(i, (kind, KindStats::default()));
+                i
+            }
+        };
+        &mut by_kind[i].1
+    }
+
     /// Records a finished task's report.
     pub fn on_finished(&mut self, report: &TaskReport) {
-        let ks = self.by_kind.entry(report.kind).or_default();
+        let ks = Self::kind_entry(&mut self.by_kind, report.kind);
         if report.is_success() {
             ks.completed += 1;
         } else {
@@ -205,17 +228,20 @@ impl MgmtStats {
 
     /// Total completions across kinds.
     pub fn completed(&self) -> u64 {
-        self.by_kind.values().map(|k| k.completed).sum()
+        self.by_kind.iter().map(|(_, k)| k.completed).sum()
     }
 
     /// Total failures across kinds.
     pub fn failed(&self) -> u64 {
-        self.by_kind.values().map(|k| k.failed).sum()
+        self.by_kind.iter().map(|(_, k)| k.failed).sum()
     }
 
     /// Stats for one kind, if any tasks of it finished.
     pub fn kind(&self, kind: &str) -> Option<&KindStats> {
-        self.by_kind.get(kind)
+        self.by_kind
+            .binary_search_by_key(&kind, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.by_kind[i].1)
     }
 
     /// Iterates kinds in deterministic order.
@@ -224,20 +250,25 @@ impl MgmtStats {
     }
 
     /// Iterates `(kind, class, label) -> (total_secs, count)` phase totals
-    /// in deterministic order.
+    /// in deterministic order (sorted by key, exactly as the previous
+    /// ordered-map representation iterated).
     pub fn phase_totals(
         &self,
     ) -> impl Iterator<Item = (&'static str, &'static str, &'static str, f64, u64)> + '_ {
-        self.phase_totals
+        let mut rows: Vec<_> = self
+            .phase_totals
             .iter()
-            .map(|((k, c, l), (s, n))| (*k, *c, *l, *s, *n))
+            .map(|(&(k, c, l), &(s, n))| (k, c, l, s, n))
+            .collect();
+        rows.sort_unstable_by_key(|&(k, c, l, _, _)| (k, c, l));
+        rows.into_iter()
     }
 
     /// Merges another stats object (for multi-run aggregation).
     pub fn merge(&mut self, other: &MgmtStats) {
         self.submitted += other.submitted;
-        for (kind, ks) in &other.by_kind {
-            let mine = self.by_kind.entry(kind).or_default();
+        for &(kind, ref ks) in &other.by_kind {
+            let mine = Self::kind_entry(&mut self.by_kind, kind);
             mine.completed += ks.completed;
             mine.failed += ks.failed;
             mine.retries += ks.retries;
