@@ -1,0 +1,83 @@
+//! Microbenchmark of the federated shard executor: the same contended
+//! multi-shard workload stepped by the sequential oracle
+//! (`--intra-jobs 1`) and by the conservative parallel runner
+//! (`--intra-jobs 2`). Both produce byte-identical results — this bench
+//! measures what the turnstile coordination costs (single core) or buys
+//! (multi-core) in wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpsim_cloud::CloudRequest;
+use cpsim_des::{SimDuration, SimTime};
+use cpsim_federation::{FedScenario, FedSim, FedTopology};
+use cpsim_mgmt::CloneMode;
+
+const SHARDS: usize = 4;
+const REQUESTS: u32 = 96;
+
+/// Small contended topology: tight home datastores force most clones
+/// through the shared pool, so the run exercises the turnstile rather
+/// than pure home-placement lookahead.
+fn topology() -> FedTopology {
+    FedTopology {
+        shards: SHARDS,
+        home_hosts_per_shard: 2,
+        home_ds_per_shard: 2,
+        home_ds_capacity_gb: 24.0,
+        shared_hosts: 4,
+        shared_ds: 2,
+        shared_ds_capacity_gb: 512.0,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 524_288,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("fed-template".into(), 2, 2_048, 20.0)],
+        initial_vms_per_shard: Vec::new(),
+        initial_vm_disk_gb: 4.0,
+    }
+}
+
+fn build(intra_jobs: usize) -> FedSim {
+    let mut sim = FedScenario::new(topology())
+        .seed(2013)
+        .staleness(SimDuration::from_secs(10))
+        .build();
+    sim.set_intra_jobs(intra_jobs);
+    for i in 0..REQUESTS {
+        let s = i as usize % SHARDS;
+        let org = sim.org(s);
+        let template = sim.templates(s)[0];
+        sim.schedule_request(
+            SimTime::from_micros(u64::from(i) + 1),
+            s,
+            CloudRequest::InstantiateVapp {
+                org,
+                template,
+                count: 1,
+                mode: Some(CloneMode::Linked),
+                lease: None,
+            },
+        );
+    }
+    sim
+}
+
+fn bench_fed_shards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fed-shards");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(u64::from(REQUESTS)));
+    let horizon = SimTime::from_secs(600);
+    for &intra_jobs in &[1usize, 2] {
+        g.bench_function(format!("clone-storm-intra-jobs-{intra_jobs}"), |b| {
+            b.iter(|| {
+                let mut sim = build(intra_jobs);
+                sim.run_until(horizon);
+                black_box(sim.events_processed())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fed_shards);
+criterion_main!(benches);

@@ -22,6 +22,9 @@ pub struct Cli {
     pub seed: Option<u64>,
     /// Worker threads per sweep (`None` = one per core; `1` = sequential).
     pub jobs: Option<usize>,
+    /// Shard executors inside each federated simulation (`None` = the
+    /// sequential oracle loop; `0` is accepted as "one per core").
+    pub intra_jobs: Option<usize>,
     /// Directory to write CSV copies into.
     pub csv_dir: Option<PathBuf>,
     /// Where to write the timing summary; `None` disables it.
@@ -73,6 +76,11 @@ impl Cli {
                     }
                     cli.jobs = Some(n);
                 }
+                "--intra-jobs" => {
+                    let v = it.next().ok_or("--intra-jobs needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad intra-job count: {v}"))?;
+                    cli.intra_jobs = Some(n);
+                }
                 "--csv" => {
                     let v = it.next().ok_or("--csv needs a directory")?;
                     cli.csv_dir = Some(PathBuf::from(v));
@@ -112,6 +120,9 @@ impl Cli {
         if let Some(jobs) = self.jobs {
             opts.jobs = jobs;
         }
+        if let Some(intra_jobs) = self.intra_jobs {
+            opts.intra_jobs = intra_jobs;
+        }
         opts
     }
 
@@ -144,11 +155,15 @@ impl Cli {
 pub fn usage() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
-         USAGE: repro [IDS...] [--quick] [--seed N] [--jobs N] [--csv DIR]\n\
-         \x20              [--bench FILE | --no-bench] [--compare] [--baseline FILE]\n\
+         USAGE: repro [IDS...] [--quick] [--seed N] [--jobs N] [--intra-jobs N]\n\
+         \x20              [--csv DIR] [--bench FILE | --no-bench] [--compare]\n\
+         \x20              [--baseline FILE]\n\
          \x20      repro list\n\n\
          --jobs N     worker threads per sweep (default: one per core;\n\
          \x20            1 = sequential; tables are identical either way)\n\
+         --intra-jobs N  shard executors inside each federated simulation\n\
+         \x20            (default 1 = the sequential oracle; 0 = one per\n\
+         \x20            core; tables are identical either way)\n\
          --bench F    write the timing summary to F (default: {BENCH_DEFAULT_PATH}\n\
          \x20            for full runs; off under --quick so smoke runs never\n\
          \x20            overwrite the committed full-scale record)\n\
@@ -219,6 +234,8 @@ pub struct BenchRecord {
     pub events_per_sec: f64,
     /// Worker threads the sweep ran with.
     pub jobs: usize,
+    /// Shard executors inside each federated simulation.
+    pub intra_jobs: usize,
     /// Sweep scale the numbers were measured at: `"quick"` or `"full"`.
     /// Makes a quick-mode file self-describing, so it can never pass for
     /// the committed full-scale record.
@@ -232,6 +249,10 @@ pub struct BaselineRecord {
     pub events_per_sec: f64,
     /// Recorded sweep scale (`"quick"` or `"full"`).
     pub scale: String,
+    /// Recorded worker-thread count (`None` in records predating the field).
+    pub jobs: Option<u64>,
+    /// Recorded intra-simulation executor count (`None` in older records).
+    pub intra_jobs: Option<u64>,
 }
 
 /// Parses a `BENCH_suite.json` document into `(id, record)` pairs in file
@@ -258,11 +279,21 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<(String, BaselineRecord)>, Str
         .filter_map(|(id, rec)| {
             let events_per_sec = rec.get("events_per_sec").and_then(as_f64)?;
             let scale = rec.get("scale").and_then(|s| s.as_str())?.to_string();
+            let as_u64 = |v: &serde_json::Value| -> Option<u64> {
+                match v {
+                    serde_json::Value::U64(x) => Some(*x),
+                    _ => None,
+                }
+            };
+            let jobs = rec.get("jobs").and_then(as_u64);
+            let intra_jobs = rec.get("intra_jobs").and_then(as_u64);
             Some((
                 id.clone(),
                 BaselineRecord {
                     events_per_sec,
                     scale,
+                    jobs,
+                    intra_jobs,
                 },
             ))
         })
@@ -277,9 +308,11 @@ pub const REGRESSION_RATIO: f64 = 0.5;
 /// Diffs `current` against a parsed baseline. Returns the human-readable
 /// table and the ids that regressed past [`REGRESSION_RATIO`].
 ///
-/// Only same-scale entries gate: a quick run diffed against a full-scale
-/// record is reported informationally (the two measure different sweep
-/// widths), never failed.
+/// Only comparable entries gate: a quick run diffed against a full-scale
+/// record, or a run whose worker counts (`--jobs`, `--intra-jobs`) differ
+/// from the baseline's, is reported informationally (the two measure
+/// different configurations), never failed. Baselines predating a worker
+/// field are assumed comparable.
 pub fn compare_records(
     current: &[BenchRecord],
     baseline: &[(String, BaselineRecord)],
@@ -304,6 +337,18 @@ pub fn compare_records(
                 };
                 let verdict = if base.scale != r.scale {
                     format!("info only ({} baseline vs {} run)", base.scale, r.scale)
+                } else if base.jobs.is_some_and(|j| j != r.jobs as u64) {
+                    format!(
+                        "info only (jobs {} baseline vs {} run)",
+                        base.jobs.unwrap_or(0),
+                        r.jobs
+                    )
+                } else if base.intra_jobs.is_some_and(|j| j != r.intra_jobs as u64) {
+                    format!(
+                        "info only (intra-jobs {} baseline vs {} run)",
+                        base.intra_jobs.unwrap_or(0),
+                        r.intra_jobs
+                    )
                 } else if ratio < REGRESSION_RATIO {
                     regressions.push(r.id.to_string());
                     ">2x regression".to_string()
@@ -323,18 +368,19 @@ pub fn compare_records(
 }
 
 /// Renders the timing records as the `BENCH_suite.json` document:
-/// `{ "<id>": {"wall_ms": .., "events": .., "events_per_sec": .., "jobs": .., "scale": ".."}, .. }`
+/// `{ "<id>": {"wall_ms": .., "events": .., "events_per_sec": .., "jobs": .., "intra_jobs": .., "scale": ".."}, .. }`
 /// in experiment (paper) order.
 pub fn bench_json(records: &[BenchRecord]) -> String {
     let mut s = String::from("{\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str(&format!(
-            "  \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"jobs\": {}, \"scale\": \"{}\"}}{}\n",
+            "  \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"jobs\": {}, \"intra_jobs\": {}, \"scale\": \"{}\"}}{}\n",
             r.id,
             r.wall_ms,
             r.events,
             r.events_per_sec,
             r.jobs,
+            r.intra_jobs,
             r.scale,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -352,6 +398,7 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
 pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
     let opts = cli.options();
     let jobs = opts.effective_jobs();
+    let intra_jobs = opts.intra_jobs;
     if let Some(dir) = &cli.csv_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
@@ -381,7 +428,7 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
         };
         writeln!(
             out,
-            "    ({secs:.1}s wall, {events} events, {events_per_sec:.0} events/s, jobs={jobs})"
+            "    ({secs:.1}s wall, {events} events, {events_per_sec:.0} events/s, jobs={jobs}, intra-jobs={intra_jobs})"
         )
         .map_err(|e| e.to_string())?;
         records.push(BenchRecord {
@@ -390,6 +437,7 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
             events,
             events_per_sec,
             jobs,
+            intra_jobs,
             scale: if cli.quick { "quick" } else { "full" },
         });
     }
@@ -470,6 +518,23 @@ mod tests {
     }
 
     #[test]
+    fn intra_jobs_flag_parses_and_defaults_sequential() {
+        let cli = Cli::parse(["--intra-jobs", "2"].map(String::from)).unwrap();
+        assert_eq!(cli.intra_jobs, Some(2));
+        assert_eq!(cli.options().intra_jobs, 2);
+        // 0 is valid: one executor per core, resolved inside the sim.
+        let cli = Cli::parse(["--intra-jobs", "0"].map(String::from)).unwrap();
+        assert_eq!(cli.options().intra_jobs, 0);
+        // Default: the sequential oracle.
+        let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
+        assert_eq!(cli.intra_jobs, None);
+        assert_eq!(cli.options().intra_jobs, 1);
+        // Garbage and missing values are rejected.
+        assert!(Cli::parse(["--intra-jobs", "many"].map(String::from)).is_err());
+        assert!(Cli::parse(["--intra-jobs".to_string()]).is_err());
+    }
+
+    #[test]
     fn bench_flags_control_summary_path() {
         // Full-scale runs write the summary by default...
         let cli = Cli::parse(std::iter::empty::<String>()).unwrap();
@@ -517,6 +582,7 @@ mod tests {
                 events: 1000,
                 events_per_sec: 80000.0,
                 jobs: 2,
+                intra_jobs: 1,
                 scale: "full",
             },
             BenchRecord {
@@ -525,6 +591,7 @@ mod tests {
                 events: 50000,
                 events_per_sec: 200000.0,
                 jobs: 2,
+                intra_jobs: 2,
                 scale: "full",
             },
         ];
@@ -532,7 +599,14 @@ mod tests {
         let t1 = json.find("\"t1\"").unwrap();
         let f4 = json.find("\"f4\"").unwrap();
         assert!(t1 < f4, "paper order preserved");
-        for key in ["wall_ms", "events", "events_per_sec", "jobs", "scale"] {
+        for key in [
+            "wall_ms",
+            "events",
+            "events_per_sec",
+            "jobs",
+            "intra_jobs",
+            "scale",
+        ] {
             assert!(json.contains(key), "missing {key}");
         }
         // Exactly one trailing comma between the two objects, none after
@@ -570,6 +644,7 @@ mod tests {
             events: 1000,
             events_per_sec: eps,
             jobs: 1,
+            intra_jobs: 1,
             scale,
         }
     }
@@ -611,6 +686,43 @@ mod tests {
         let (table, regressions) = compare_records(&[rec("f5", 100_000.0, "quick")], &baseline);
         assert!(regressions.is_empty());
         assert!(table.contains("info only (full baseline vs quick run)"));
+    }
+
+    #[test]
+    fn compare_across_parallelism_settings_is_informational() {
+        // A baseline captured at different --jobs never gates, however
+        // slow the current run looks against it...
+        let baseline = parse_bench_json(&bench_json(&[BenchRecord {
+            jobs: 4,
+            ..rec("f5", 1_000_000.0, "full")
+        }]))
+        .unwrap();
+        let (table, regressions) = compare_records(&[rec("f5", 100_000.0, "full")], &baseline);
+        assert!(regressions.is_empty());
+        assert!(table.contains("info only (jobs 4 baseline vs 1 run)"));
+        // ...and likewise for mismatched --intra-jobs.
+        let baseline = parse_bench_json(&bench_json(&[BenchRecord {
+            intra_jobs: 2,
+            ..rec("f5", 1_000_000.0, "full")
+        }]))
+        .unwrap();
+        let (table, regressions) = compare_records(&[rec("f5", 100_000.0, "full")], &baseline);
+        assert!(regressions.is_empty());
+        assert!(table.contains("info only (intra-jobs 2 baseline vs 1 run)"));
+    }
+
+    #[test]
+    fn compare_gates_when_baseline_predates_parallelism_fields() {
+        // Old BENCH json without jobs/intra_jobs keys still gates: the
+        // fields parse as None and the mismatch check stays quiet.
+        let legacy = "{\n  \"f5\": {\"wall_ms\": 1.0, \"events\": 10, \
+                      \"events_per_sec\": 100000.0, \"scale\": \"full\"}\n}\n";
+        let baseline = parse_bench_json(legacy).unwrap();
+        assert_eq!(baseline[0].1.jobs, None);
+        assert_eq!(baseline[0].1.intra_jobs, None);
+        let (table, regressions) = compare_records(&[rec("f5", 49_000.0, "full")], &baseline);
+        assert_eq!(regressions, vec!["f5".to_string()]);
+        assert!(table.contains(">2x regression"));
     }
 
     #[test]

@@ -518,7 +518,7 @@ impl CloudDirector {
                     now,
                     &mut wf,
                     OpCtx::HostAdd { wf: wf_id },
-                    OpKind::AddHost { spec, datastores },
+                    OpKind::add_host(spec, datastores),
                     plane,
                     &mut out,
                 );

@@ -117,6 +117,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             ProvisioningPolicy::default(),
             recovery,
             SimDuration::from_secs(w),
+            opts.intra_jobs,
             n_per_shard * s as u32,
             warmup,
             measure,

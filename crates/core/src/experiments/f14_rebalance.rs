@@ -83,6 +83,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             .seed(opts.seed)
             .staleness(SimDuration::from_secs(10))
             .build();
+        // Honored until the first migration is scheduled below pins the
+        // run sequential; kept so F14 exercises the knob's fallback path.
+        sim.set_intra_jobs(opts.intra_jobs);
         let start = SimTime::from_secs(1);
         let victims: Vec<_> = sim.initial_vms(0)[..moves as usize].to_vec();
         for (i, vm) in victims.into_iter().enumerate() {

@@ -53,12 +53,22 @@ mod tests {
     fn f2_burstiness_ranks_clouds_over_enterprise() {
         let tables = run(&ExpOptions::quick());
         let summary = &tables[1];
-        let peak_mean = |row: usize| -> f64 { summary.rows()[row][1].parse().unwrap() };
-        let cloud_a_pm = peak_mean(0);
-        let enterprise_pm = peak_mean(2);
+        // Interarrival CV is the robust burstiness statistic here: the
+        // hourly peak/mean column rides on few, noisy buckets (the
+        // enterprise trace submits so few ops per hour that its peak
+        // bucket sits ~2.5x its mean from Poisson noise alone), so the
+        // cloud-vs-enterprise gap there is within sampling jitter.
+        let cv = |row: usize| -> f64 { summary.rows()[row][2].parse().unwrap() };
+        let (cloud_a_cv, cloud_b_cv, enterprise_cv) = (cv(0), cv(1), cv(2));
         assert!(
-            cloud_a_pm > enterprise_pm,
-            "cloud-a {cloud_a_pm} vs enterprise {enterprise_pm}"
+            cloud_a_cv > cloud_b_cv && cloud_b_cv > enterprise_cv,
+            "burstiness must rank a > b > enterprise: {cloud_a_cv} / {cloud_b_cv} / {enterprise_cv}"
+        );
+        // The clouds are far from Poisson (CV 1); the enterprise is close.
+        assert!(cloud_a_cv > 3.0, "cloud-a storms: CV {cloud_a_cv}");
+        assert!(
+            enterprise_cv < 2.0,
+            "enterprise near-Poisson: CV {enterprise_cv}"
         );
         // Series has one row per hour.
         assert_eq!(tables[0].len(), 12);

@@ -216,6 +216,7 @@ pub fn fed_closed_loop(
     policy: ProvisioningPolicy,
     recovery: RecoveryPolicy,
     staleness: SimDuration,
+    intra_jobs: usize,
     n: u32,
     warmup: SimDuration,
     measure: SimDuration,
@@ -228,6 +229,7 @@ pub fn fed_closed_loop(
         .recovery(recovery)
         .staleness(staleness)
         .build();
+    sim.set_intra_jobs(intra_jobs);
     sim.keep_task_reports(true);
     let mut router = Router::new(RouterPolicy::LeastLoaded);
     let submit = |sim: &mut FedSim, at: SimTime, s: usize| {

@@ -59,6 +59,12 @@ pub struct ExpOptions {
     /// `1` = fully sequential. Output tables are byte-identical at every
     /// value — parallelism only changes wall-clock (see [`crate::exec`]).
     pub jobs: usize,
+    /// Worker threads *inside* each federated simulation: the number of
+    /// shard executors driving one `FedSim` concurrently (conservative
+    /// shard-lookahead execution). `0` = one per available core, `1` =
+    /// the sequential oracle loop. Like `jobs`, output tables are
+    /// byte-identical at every value.
+    pub intra_jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -67,6 +73,7 @@ impl Default for ExpOptions {
             seed: 2013,
             quick: false,
             jobs: 0,
+            intra_jobs: 1,
         }
     }
 }
@@ -83,6 +90,12 @@ impl ExpOptions {
     /// Returns a copy with an explicit job count.
     pub fn with_jobs(self, jobs: usize) -> Self {
         ExpOptions { jobs, ..self }
+    }
+
+    /// Returns a copy with an explicit intra-simulation shard-executor
+    /// count for federated experiments.
+    pub fn with_intra_jobs(self, intra_jobs: usize) -> Self {
+        ExpOptions { intra_jobs, ..self }
     }
 
     /// The concrete worker count: `jobs`, with `0` resolved to the number

@@ -3,8 +3,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::wheel::EventQueue;
 use crate::time::SimTime;
+use crate::wheel::EventQueue;
 
 /// Process-wide tally of events handled by every [`Simulation`], flushed at
 /// the end of each `run_*` call (so the per-event hot path never touches
@@ -45,6 +45,17 @@ pub enum RunOutcome {
     EventLimit,
 }
 
+/// Ceiling on `size_of::<M::Event>()`, enforced at compile time by
+/// [`Simulation::new`].
+///
+/// Every schedule and pop copies the payload through the timer wheel's
+/// slab, so event size is pure memcpy weight on the kernel hot path. The
+/// profile showed outsized enum variants (a 64-byte `OpKind::AddHost`
+/// dragging whole event unions along) dominating that cost; boxing the
+/// rare fat variants keeps the common events under this cap. If a new
+/// variant trips the assert, box its payload rather than raising the cap.
+pub const MAX_EVENT_BYTES: usize = 64;
+
 /// A running simulation: a [`Model`] plus its event queue and clock.
 pub struct Simulation<M: Model> {
     model: M,
@@ -59,6 +70,12 @@ pub struct Simulation<M: Model> {
 impl<M: Model> Simulation<M> {
     /// Creates a simulation at time zero with an empty event queue.
     pub fn new(model: M) -> Self {
+        const {
+            assert!(
+                std::mem::size_of::<M::Event>() <= MAX_EVENT_BYTES,
+                "event payload exceeds MAX_EVENT_BYTES: box the outsized variant"
+            );
+        }
         Simulation {
             model,
             queue: EventQueue::new(),
@@ -111,6 +128,16 @@ impl<M: Model> Simulation<M> {
     /// Consumes the simulation and returns the model.
     pub fn into_model(self) -> M {
         self.model
+    }
+
+    /// The timestamp of the next pending event, if any.
+    ///
+    /// This is the shard-lookahead primitive for conservative parallel
+    /// execution: a partitioned runner publishes it as the shard's lower
+    /// bound on future shared-state interaction before dispatching each
+    /// event (see `cpsim-federation`).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.next_time()
     }
 
     /// Processes a single event, returning `false` if the queue was empty.
@@ -320,6 +347,19 @@ mod tests {
         sim.schedule(SimTime::from_secs(1), Ev::N(1));
         sim.run_to_completion();
         sim.schedule(SimTime::ZERO, Ev::N(0));
+    }
+
+    #[test]
+    fn next_event_time_tracks_the_queue_head() {
+        let mut sim = Simulation::new(Counter::default());
+        assert_eq!(sim.next_event_time(), None);
+        sim.schedule(SimTime::from_secs(5), Ev::N(1));
+        sim.schedule(SimTime::from_secs(2), Ev::N(0));
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_secs(2)));
+        sim.step();
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_secs(5)));
+        sim.step();
+        assert_eq!(sim.next_event_time(), None);
     }
 
     #[test]

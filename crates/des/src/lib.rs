@@ -57,14 +57,14 @@ pub mod time;
 pub mod wheel;
 
 pub use dist::{Dist, DistError};
-pub use engine::{global_events_processed, Model, RunOutcome, Simulation};
+pub use engine::{global_events_processed, Model, RunOutcome, Simulation, MAX_EVENT_BYTES};
 pub use hash::{FastMap, FastSet, FxHasher};
 pub use queue::{TimerToken, TokenGen};
 pub use reference::ReferenceQueue;
-pub use wheel::{EventKey, EventQueue};
 pub use resource::bandwidth::{SharedBandwidth, TransferDone, TransferPlan};
 pub use resource::fifo::FifoQueue;
 pub use resource::slots::SlotPool;
 pub use resource::timeweighted::TimeWeighted;
 pub use rng::{derive_seed, SimRng, Streams};
 pub use time::{SimDuration, SimTime};
+pub use wheel::{EventKey, EventQueue};

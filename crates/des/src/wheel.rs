@@ -14,8 +14,8 @@
 //! three structures, by its time `t` relative to a monotone `cursor` (the
 //! time the queue has popped up to):
 //!
-//! - **wheel** (`t >= cursor`, within [`WHEEL_BITS`] bits of it): a
-//!   hierarchical timer wheel of [`LEVELS`] levels x [`SLOTS`] slots with a
+//! - **wheel** (`t >= cursor`, within `WHEEL_BITS` bits of it): a
+//!   hierarchical timer wheel of `LEVELS` levels x `SLOTS` slots with a
 //!   1 µs tick. Level `L` buckets are `64^L` µs wide; an entry lives at the
 //!   *highest* level where its time digit differs from the cursor's
 //!   (base-64 digits of the µs timestamp), so each entry cascades at most
@@ -368,8 +368,8 @@ impl<E> EventQueue<E> {
             // in this bucket or later ones, so the cursor still trails
             // every pending wheel entry.
             let width = SLOT_BITS * level;
-            self.cursor = (self.cursor & !((1u64 << (width + SLOT_BITS)) - 1))
-                | ((slot as u64) << width);
+            self.cursor =
+                (self.cursor & !((1u64 << (width + SLOT_BITS)) - 1)) | ((slot as u64) << width);
             self.occ[level] &= !(1u64 << slot);
             let idx = level * SLOTS + slot;
             let mut bucket = std::mem::take(&mut self.buckets[idx]);
@@ -487,9 +487,7 @@ impl<E> EventQueue<E> {
             }
         }
         self.cancelled.insert(key.0);
-        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES
-            && self.cancelled.len() * 2 > self.count
-        {
+        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES && self.cancelled.len() * 2 > self.count {
             self.compact();
         }
         true

@@ -1,23 +1,37 @@
-//! The [`FedSim`] driver: N control-plane shards on one discrete-event
-//! kernel, coordinating through the shared [`PlacementStore`].
+//! The [`FedSim`] driver: N control-plane shards, each on its own
+//! discrete-event kernel, coordinating through the shared
+//! [`PlacementStore`](crate::store::PlacementStore).
 //!
 //! Each shard is a full management stack — plane, director, trace — and
-//! handles its own events exactly as the single-plane driver does. The
-//! federation layer adds three things on top:
+//! handles its own events exactly as the single-plane driver does, on a
+//! **private** event queue. The canonical event order of a federated run
+//! is ascending `(virtual time, shard index, per-shard sequence)`; a
+//! coordinator pseudo-shard (index = shard count) carries the cross-shard
+//! migration machinery and sorts after every real shard at equal time.
+//! Because the order is defined per shard rather than by a global
+//! arrival sequence, it is *independent of how the shards are executed*:
+//! the sequential scan loop (the oracle) and the conservative parallel
+//! runner (the private `runner` module) produce byte-identical results.
 //!
-//! 1. **Sync ticks** ([`FedEvent::StoreSync`]): every staleness window,
-//!    each shard folds foreign commits on the shared pool into its local
-//!    inventory mirror (and pays CPU/DB time for the refresh).
+//! The federation layer adds three things on top of the per-shard
+//! stacks:
+//!
+//! 1. **Sync ticks** ([`ShardEvent::StoreSync`]): every staleness
+//!    window, each shard folds foreign commits on the shared pool into
+//!    its local inventory mirror (and pays CPU/DB time for the refresh).
 //! 2. **Ledger settlement**: when a gated placement's task completes, its
 //!    [`OpenCommit`] is settled — kept as a reservation on success,
 //!    released back to the pool on failure or rollback. Destroying the VM
-//!    later releases the reservation.
+//!    later releases the reservation. Settlement only touches the store
+//!    for placements on shared ids; home placements stay shard-private.
 //! 3. **Cross-shard migration**: a two-phase evacuate → handoff → admit
 //!    protocol driven by tagged raw operations (tags at or above
-//!    [`MIG_TAG_BASE`] are reserved for the migration machinery).
+//!    [`MIG_TAG_BASE`] are reserved for the migration machinery). Runs
+//!    with migrations scheduled execute sequentially: migration events
+//!    hop between shards and would invalidate the lookahead the parallel
+//!    runner relies on.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cpsim_cloud::{CloudDirector, CloudOut, CloudReport, CloudRequest};
 use cpsim_des::{EventQueue, FastMap, Model, SimDuration, SimTime, Simulation};
@@ -25,25 +39,42 @@ use cpsim_inventory::{DatastoreId, HostId, OrgId, VappId, VmId};
 use cpsim_mgmt::{CloneMode, ControlPlane, Emit, MgmtEvent, OpKind, Operation, TaskReport};
 use cpsim_workload::TraceLog;
 
-use crate::store::{OpenCommit, PlacementStore, StoreStats};
+use crate::runner;
+use crate::store::{OpenCommit, StoreStats};
+use crate::turnstile::StoreCell;
 
 /// Task tags at or above this value are reserved for migration
 /// operations; the cloud director never sees their reports.
 pub const MIG_TAG_BASE: u64 = 1 << 60;
 
-/// Top-level federated simulation events.
+/// Events on one shard's private queue.
 #[derive(Debug)]
-pub enum FedEvent {
-    /// A management-plane event on one shard.
-    Mgmt(usize, MgmtEvent),
-    /// A vApp lease expired on one shard.
-    Lease(usize, VappId),
-    /// An externally-scheduled cloud request for one shard.
-    Request(usize, CloudRequest),
-    /// An externally-scheduled raw operation for one shard.
-    Op(usize, OpKind),
-    /// A shard's periodic placement-store refresh.
-    StoreSync(usize),
+pub enum ShardEvent {
+    /// A management-plane event.
+    Mgmt(MgmtEvent),
+    /// A vApp lease expired.
+    Lease(VappId),
+    /// An externally-scheduled cloud request.
+    Request(CloudRequest),
+    /// An externally-scheduled raw operation.
+    Op(OpKind),
+    /// The periodic placement-store refresh (self-rescheduling).
+    StoreSync,
+    /// Migration phase 1, injected by the coordinator: evacuate `vm`.
+    MigrateEvacuate {
+        /// Migration id.
+        id: u64,
+        /// The VM to destroy on this (source) shard.
+        vm: VmId,
+    },
+    /// Migration phase 2, injected by the coordinator after the
+    /// placement-store handoff: admit on this (destination) shard.
+    MigrateAdmit(u64),
+}
+
+/// Events on the coordinator pseudo-shard's queue.
+#[derive(Debug)]
+enum CoordEvent {
     /// Phase 1 of a cross-shard migration: evacuate from the source.
     MigrateStart(u64),
     /// Phase 2: placement-store handoff, then admit on the destination.
@@ -59,9 +90,15 @@ pub(crate) struct ShardSetup {
     pub(crate) datastores: Vec<DatastoreId>,
     pub(crate) templates: Vec<VmId>,
     pub(crate) initial_vms: Vec<VmId>,
+    /// Local ids of the shared spillover pool, for the settlement filter.
+    pub(crate) shared_hosts: Vec<HostId>,
+    pub(crate) shared_ds: Vec<DatastoreId>,
 }
 
-struct Shard {
+/// One shard's full management stack: the [`Model`] driven by that
+/// shard's private simulation kernel.
+pub(crate) struct ShardCore {
+    shard: usize,
     plane: ControlPlane,
     director: CloudDirector,
     org: OrgId,
@@ -71,9 +108,213 @@ struct Shard {
     initial_vms: Vec<VmId>,
     trace: TraceLog,
     task_reports_kept: Vec<TaskReport>,
+    keep_task_reports: bool,
     cloud_reports: Vec<CloudReport>,
-    /// Reused emission buffer, one per shard (see `CloudModel::scratch`).
+    /// Reused emission buffer (see `CloudModel::scratch` in cpsim-core).
     scratch: Vec<Emit>,
+    /// Pooled routing stack reused across events (see `route_stack`).
+    route_buf: Vec<CloudOut>,
+    cell: Arc<StoreCell>,
+    staleness: SimDuration,
+    /// Local ids belonging to the shared pool: placements touching
+    /// neither set never recorded an [`OpenCommit`], so settlement can
+    /// skip the store (and the turnstile) entirely.
+    shared_hosts: Vec<HostId>,
+    shared_ds: Vec<DatastoreId>,
+    /// Open ledger reservations held by completed placements, keyed by
+    /// VM so a later destroy releases the shared capacity.
+    // cpsim-lint: allow(no-unordered-iteration): keyed insert/remove only; never iterated
+    reservations: FastMap<VmId, OpenCommit>,
+    /// Completed migration-tagged task reports, drained by the
+    /// coordinator after each sequential step (empty in threaded runs).
+    pub(crate) mig_outbox: Vec<TaskReport>,
+}
+
+impl ShardCore {
+    /// Settles the shared-pool ledger for a finished task.
+    fn settle_ledger(&mut self, now: SimTime, r: &TaskReport) {
+        match r.kind {
+            "create-vm" | "clone-full" | "clone-linked" => {
+                let Some((host, ds)) = r.placement else {
+                    return;
+                };
+                if !self.shared_hosts.contains(&host) && !self.shared_ds.contains(&ds) {
+                    // Home placement: the gate never recorded an open
+                    // commit, so there is nothing to settle — and no
+                    // reason to serialize through the turnstile.
+                    return;
+                }
+                let shard = self.shard;
+                let succeeded = r.error.is_none() && !r.aborted;
+                let keep = self.cell.with(shard, now.as_micros(), |st| {
+                    let oc = st.take_open(shard, host, ds)?;
+                    match (succeeded, r.produced_vm) {
+                        (true, Some(vm)) => Some((vm, oc)),
+                        _ => {
+                            st.release(shard, &oc);
+                            None
+                        }
+                    }
+                });
+                if let Some((vm, oc)) = keep {
+                    self.reservations.insert(vm, oc);
+                }
+            }
+            "destroy-vm" => {
+                let Some(vm) = r.target_vm else { return };
+                if r.error.is_none() && !r.aborted {
+                    if let Some(oc) = self.reservations.remove(&vm) {
+                        let shard = self.shard;
+                        self.cell
+                            .with(shard, now.as_micros(), |st| st.release(shard, &oc));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Routes one emission: timers back onto this shard's queue, task
+    /// reports to the ledger and then the director (or the migration
+    /// outbox for tagged reports).
+    fn consume_emit(
+        &mut self,
+        now: SimTime,
+        e: Emit,
+        queue: &mut EventQueue<ShardEvent>,
+    ) -> Option<CloudOut> {
+        match e {
+            Emit::At(t, ev) => {
+                queue.schedule(t, ShardEvent::Mgmt(ev));
+                None
+            }
+            Emit::Done(_, r) | Emit::Failed(_, r) => {
+                self.trace.push_task(&r);
+                if self.keep_task_reports {
+                    self.task_reports_kept.push(r.clone());
+                }
+                self.settle_ledger(now, &r);
+                if r.tag >= MIG_TAG_BASE {
+                    self.mig_outbox.push(r);
+                    None
+                } else {
+                    Some(self.director.on_task_report(now, &r, &mut self.plane))
+                }
+            }
+        }
+    }
+
+    fn route_stack(
+        &mut self,
+        now: SimTime,
+        stack: &mut Vec<CloudOut>,
+        queue: &mut EventQueue<ShardEvent>,
+    ) {
+        while let Some(o) = stack.pop() {
+            self.cloud_reports.extend(o.reports);
+            for (t, vapp) in o.leases {
+                queue.schedule(t, ShardEvent::Lease(vapp));
+            }
+            for e in o.mgmt {
+                if let Some(child) = self.consume_emit(now, e, queue) {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, now: SimTime, out: CloudOut, queue: &mut EventQueue<ShardEvent>) {
+        let mut stack = std::mem::take(&mut self.route_buf);
+        stack.push(out);
+        self.route_stack(now, &mut stack, queue);
+        self.route_buf = stack;
+    }
+
+    /// Routes the plane emissions accumulated in the scratch buffer,
+    /// leaving the (emptied) buffer in place for the next event.
+    fn route_scratch(&mut self, now: SimTime, queue: &mut EventQueue<ShardEvent>) {
+        let mut emits = std::mem::take(&mut self.scratch);
+        let mut stack = std::mem::take(&mut self.route_buf);
+        for e in emits.drain(..) {
+            if let Some(child) = self.consume_emit(now, e, queue) {
+                stack.push(child);
+            }
+        }
+        self.scratch = emits;
+        self.route_stack(now, &mut stack, queue);
+        self.route_buf = stack;
+    }
+
+    fn sync_gate(&mut self, now: SimTime, queue: &mut EventQueue<ShardEvent>) {
+        debug_assert!(self.scratch.is_empty());
+        let mut emits = std::mem::take(&mut self.scratch);
+        self.plane.sync_placement_gate(now, &mut emits);
+        self.scratch = emits;
+        self.route_scratch(now, queue);
+    }
+
+    fn submit_cloud(
+        &mut self,
+        now: SimTime,
+        req: CloudRequest,
+        queue: &mut EventQueue<ShardEvent>,
+    ) {
+        let (_, out) = self.director.submit(now, req, &mut self.plane);
+        self.route(now, out, queue);
+    }
+
+    fn submit_op(&mut self, now: SimTime, op: Operation, queue: &mut EventQueue<ShardEvent>) {
+        debug_assert!(self.scratch.is_empty());
+        let mut emits = std::mem::take(&mut self.scratch);
+        self.plane.submit(now, op, &mut emits);
+        self.scratch = emits;
+        self.route_scratch(now, queue);
+    }
+}
+
+impl Model for ShardCore {
+    type Event = ShardEvent;
+
+    fn handle(&mut self, now: SimTime, event: ShardEvent, queue: &mut EventQueue<ShardEvent>) {
+        match event {
+            ShardEvent::Mgmt(ev) => {
+                debug_assert!(self.scratch.is_empty());
+                let mut emits = std::mem::take(&mut self.scratch);
+                self.plane.handle(now, ev, &mut emits);
+                self.scratch = emits;
+                self.route_scratch(now, queue);
+            }
+            ShardEvent::Lease(vapp) => {
+                let out = self.director.on_lease_expiry(now, vapp, &mut self.plane);
+                self.route(now, out, queue);
+            }
+            ShardEvent::Request(req) => self.submit_cloud(now, req, queue),
+            ShardEvent::Op(op) => self.submit_op(now, Operation::new(op), queue),
+            ShardEvent::StoreSync => {
+                self.sync_gate(now, queue);
+                queue.schedule(now + self.staleness, ShardEvent::StoreSync);
+            }
+            ShardEvent::MigrateEvacuate { id, vm } => {
+                let op = Operation::tagged(OpKind::DestroyVm { vm }, MIG_TAG_BASE + id);
+                self.submit_op(now, op, queue);
+            }
+            ShardEvent::MigrateAdmit(id) => {
+                // The destination refreshes its shared-pool view first
+                // (it is about to place into it), then admits the VM as
+                // a linked clone of its local template.
+                self.sync_gate(now, queue);
+                let source = self.templates[0];
+                let op = Operation::tagged(
+                    OpKind::CloneVm {
+                        source,
+                        mode: CloneMode::Linked,
+                    },
+                    MIG_TAG_BASE + id,
+                );
+                self.submit_op(now, op, queue);
+            }
+        }
+    }
 }
 
 /// One in-flight cross-shard migration.
@@ -104,77 +345,220 @@ pub struct MigrationReport {
     pub success: bool,
 }
 
-/// The federated simulation state driven by the kernel.
-pub struct FedModel {
-    shards: Vec<Shard>,
-    store: Rc<RefCell<PlacementStore>>,
-    staleness: SimDuration,
+/// The migration coordinator: a pseudo-shard (index = shard count) with
+/// its own event queue, ordered after every real shard at equal time.
+struct Coordinator {
+    queue: EventQueue<CoordEvent>,
     handoff_delay: SimDuration,
-    keep_task_reports: bool,
     /// In-flight migrations by id. Accessed by key only (get / insert /
-    /// remove / len); completion order is recorded in `migration_reports`.
+    /// remove / len); completion order is recorded in `reports`.
     // cpsim-lint: allow(no-unordered-iteration): keyed access only; never iterated
     migrations: FastMap<u64, Migration>,
     next_migration_id: u64,
-    migration_reports: Vec<MigrationReport>,
-    /// Open ledger reservations held by completed placements, keyed by
-    /// `(shard, vm)` so a later destroy releases the shared capacity.
-    // cpsim-lint: allow(no-unordered-iteration): keyed insert/remove only; never iterated
-    reservations: FastMap<(usize, VmId), OpenCommit>,
-    /// Pooled routing stack reused across events (see `route_stack`).
-    route_buf: Vec<CloudOut>,
+    reports: Vec<MigrationReport>,
+    /// Coordinator events processed (its queue has no kernel counting
+    /// them).
+    events: u64,
 }
 
-impl FedModel {
-    /// Settles the shared-pool ledger for a finished task on shard `s`.
-    fn settle_ledger(&mut self, s: usize, r: &TaskReport) {
-        match r.kind {
-            "create-vm" | "clone-full" | "clone-linked" => {
-                let Some((host, ds)) = r.placement else {
-                    return;
-                };
-                let Some(oc) = self.store.borrow_mut().take_open(s, host, ds) else {
-                    return;
-                };
-                let succeeded = r.error.is_none() && !r.aborted;
-                match (succeeded, r.produced_vm) {
-                    (true, Some(vm)) => {
-                        self.reservations.insert((s, vm), oc);
-                    }
-                    _ => self.store.borrow_mut().release(s, &oc),
+/// A runnable federated simulation.
+///
+/// Construct via [`FedScenario`](crate::FedScenario); drive with
+/// [`run_until`](FedSim::run_until); inspect per shard through the
+/// accessors. [`set_intra_jobs`](FedSim::set_intra_jobs) selects how many
+/// worker threads simulate the shards concurrently — the results are
+/// byte-identical at every setting.
+pub struct FedSim {
+    shard_sims: Vec<Simulation<ShardCore>>,
+    coord: Coordinator,
+    cell: Arc<StoreCell>,
+    now: SimTime,
+    intra_jobs: usize,
+    /// Set once a migration is scheduled; forces the sequential runner
+    /// for the rest of the run (migration events hop between shards).
+    migrations_used: bool,
+}
+
+impl FedSim {
+    /// Internal constructor used by [`FedScenario`](crate::FedScenario).
+    pub(crate) fn assemble(
+        setups: Vec<ShardSetup>,
+        cell: Arc<StoreCell>,
+        staleness: SimDuration,
+        handoff_delay: SimDuration,
+    ) -> Self {
+        let shard_count = setups.len();
+        let mut shard_sims = Vec::with_capacity(shard_count);
+        for (s, setup) in setups.into_iter().enumerate() {
+            let init = setup.plane.init_events();
+            let core = ShardCore {
+                shard: s,
+                plane: setup.plane,
+                director: setup.director,
+                org: setup.org,
+                hosts: setup.hosts,
+                datastores: setup.datastores,
+                templates: setup.templates,
+                initial_vms: setup.initial_vms,
+                trace: TraceLog::new(),
+                task_reports_kept: Vec::new(),
+                keep_task_reports: false,
+                cloud_reports: Vec::new(),
+                scratch: Vec::new(),
+                route_buf: Vec::new(),
+                cell: Arc::clone(&cell),
+                staleness,
+                shared_hosts: setup.shared_hosts,
+                shared_ds: setup.shared_ds,
+                reservations: FastMap::default(),
+                mig_outbox: Vec::new(),
+            };
+            let mut sim = Simulation::new(core);
+            for e in init {
+                if let Emit::At(t, ev) = e {
+                    sim.schedule(t, ShardEvent::Mgmt(ev));
                 }
             }
-            "destroy-vm" => {
-                let Some(vm) = r.target_vm else { return };
-                if r.error.is_none() && !r.aborted {
-                    if let Some(oc) = self.reservations.remove(&(s, vm)) {
-                        self.store.borrow_mut().release(s, &oc);
-                    }
+            if shard_count > 1 {
+                // Stagger the first sync of each shard across one window
+                // so refreshes don't stampede the same instant.
+                let frac = (s + 1) as f64 / shard_count as f64;
+                let at = SimTime::ZERO + SimDuration::from_secs_f64(staleness.as_secs_f64() * frac);
+                sim.schedule(at, ShardEvent::StoreSync);
+            }
+            shard_sims.push(sim);
+        }
+        FedSim {
+            shard_sims,
+            coord: Coordinator {
+                queue: EventQueue::new(),
+                handoff_delay,
+                migrations: FastMap::default(),
+                next_migration_id: 0,
+                reports: Vec::new(),
+                events: 0,
+            },
+            cell,
+            now: SimTime::ZERO,
+            intra_jobs: 1,
+            migrations_used: false,
+        }
+    }
+
+    /// Sets the number of worker threads used to simulate shards
+    /// concurrently *within* this run: `1` (the default) selects the
+    /// sequential oracle loop, `0` means one per available core. Any
+    /// setting produces byte-identical results; runs with cross-shard
+    /// migrations always execute sequentially.
+    pub fn set_intra_jobs(&mut self, n: usize) {
+        self.intra_jobs = n;
+    }
+
+    fn effective_intra_jobs(&self) -> usize {
+        let n = if self.intra_jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        } else {
+            self.intra_jobs
+        };
+        n.min(self.shard_sims.len())
+    }
+
+    /// Runs until `horizon` inclusive (events strictly after it remain
+    /// queued). Horizons compose like the kernel's:
+    /// `run_until(a); run_until(b)` with `a <= b` ≡ `run_until(b)`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        let jobs = self.effective_intra_jobs();
+        if jobs > 1 && !self.migrations_used {
+            debug_assert!(self.coord.queue.is_empty());
+            runner::run_threaded(&mut self.shard_sims, &self.cell, horizon, jobs);
+        } else {
+            self.run_sequential(horizon);
+        }
+        if horizon > self.now {
+            self.now = horizon;
+        }
+    }
+
+    /// The sequential oracle: one event at a time, globally ordered by
+    /// `(time, shard index)` with the coordinator pseudo-shard last.
+    fn run_sequential(&mut self, horizon: SimTime) {
+        let coord_idx = self.shard_sims.len();
+        loop {
+            let mut best = runner::next_shard(&self.shard_sims, horizon);
+            if let Some(t) = self.coord.queue.next_time() {
+                if t <= horizon && best.is_none_or(|(bt, bs)| (t, coord_idx) < (bt, bs)) {
+                    best = Some((t, coord_idx));
                 }
             }
-            _ => {}
+            let Some((t, s)) = best else { break };
+            if s == coord_idx {
+                self.step_coordinator(t, horizon);
+            } else {
+                self.shard_sims[s].step();
+                self.drain_outbox(s);
+            }
+        }
+        for sim in &mut self.shard_sims {
+            // Advance the clock to the horizon and flush the per-shard
+            // contribution to the process-wide event counter.
+            sim.run_until(horizon);
+        }
+    }
+
+    /// Processes the coordinator event at time `t`.
+    fn step_coordinator(&mut self, t: SimTime, horizon: SimTime) {
+        let Some((_, ev)) = self.coord.queue.pop_if_before(horizon) else {
+            return;
+        };
+        self.coord.events += 1;
+        match ev {
+            CoordEvent::MigrateStart(id) => {
+                let Some(m) = self.coord.migrations.get_mut(&id) else {
+                    return;
+                };
+                m.started = t;
+                let (src, vm) = (m.src, m.vm);
+                self.shard_sims[src].schedule(t, ShardEvent::MigrateEvacuate { id, vm });
+            }
+            CoordEvent::MigrateHandoff(id) => {
+                let Some(m) = self.coord.migrations.get(&id).copied() else {
+                    return;
+                };
+                self.cell.locked(|st| st.on_handoff());
+                self.shard_sims[m.dst].schedule(t, ShardEvent::MigrateAdmit(id));
+            }
+        }
+    }
+
+    /// Drains shard `s`'s migration-tagged task reports into the
+    /// coordinator's state machine.
+    fn drain_outbox(&mut self, s: usize) {
+        if self.shard_sims[s].model().mig_outbox.is_empty() {
+            return;
+        }
+        let now = self.shard_sims[s].now();
+        let reports = std::mem::take(&mut self.shard_sims[s].model_mut().mig_outbox);
+        for r in reports {
+            self.on_migration_report(now, s, &r);
         }
     }
 
     /// Advances the migration state machine on a tagged report.
-    fn on_migration_report(
-        &mut self,
-        now: SimTime,
-        s: usize,
-        r: &TaskReport,
-        queue: &mut EventQueue<FedEvent>,
-    ) {
+    fn on_migration_report(&mut self, now: SimTime, s: usize, r: &TaskReport) {
         let id = r.tag - MIG_TAG_BASE;
-        let Some(m) = self.migrations.get(&id).copied() else {
+        let Some(m) = self.coord.migrations.get(&id).copied() else {
             return;
         };
         let succeeded = r.error.is_none() && !r.aborted;
         if s == m.src && r.kind == "destroy-vm" {
             if succeeded {
-                queue.schedule(now + self.handoff_delay, FedEvent::MigrateHandoff(id));
+                self.coord.queue.schedule(
+                    now + self.coord.handoff_delay,
+                    CoordEvent::MigrateHandoff(id),
+                );
             } else {
-                self.migrations.remove(&id);
-                self.migration_reports.push(MigrationReport {
+                self.coord.migrations.remove(&id);
+                self.coord.reports.push(MigrationReport {
                     id,
                     src: m.src,
                     dst: m.dst,
@@ -185,8 +569,8 @@ impl FedModel {
                 });
             }
         } else if s == m.dst {
-            self.migrations.remove(&id);
-            self.migration_reports.push(MigrationReport {
+            self.coord.migrations.remove(&id);
+            self.coord.reports.push(MigrationReport {
                 id,
                 src: m.src,
                 dst: m.dst,
@@ -198,251 +582,6 @@ impl FedModel {
         }
     }
 
-    /// Routes one emission from shard `s`: timers back onto the kernel
-    /// queue, task reports to the ledger and then the shard's director
-    /// (or the migration machinery for tagged reports).
-    fn consume_emit(
-        &mut self,
-        now: SimTime,
-        s: usize,
-        e: Emit,
-        queue: &mut EventQueue<FedEvent>,
-    ) -> Option<CloudOut> {
-        match e {
-            Emit::At(t, ev) => {
-                queue.schedule(t, FedEvent::Mgmt(s, ev));
-                None
-            }
-            Emit::Done(_, r) | Emit::Failed(_, r) => {
-                self.shards[s].trace.push_task(&r);
-                if self.keep_task_reports {
-                    self.shards[s].task_reports_kept.push(r.clone());
-                }
-                self.settle_ledger(s, &r);
-                if r.tag >= MIG_TAG_BASE {
-                    self.on_migration_report(now, s, &r, queue);
-                    None
-                } else {
-                    let Shard {
-                        director, plane, ..
-                    } = &mut self.shards[s];
-                    Some(director.on_task_report(now, &r, plane))
-                }
-            }
-        }
-    }
-
-    fn route_stack(
-        &mut self,
-        now: SimTime,
-        s: usize,
-        stack: &mut Vec<CloudOut>,
-        queue: &mut EventQueue<FedEvent>,
-    ) {
-        while let Some(o) = stack.pop() {
-            self.shards[s].cloud_reports.extend(o.reports);
-            for (t, vapp) in o.leases {
-                queue.schedule(t, FedEvent::Lease(s, vapp));
-            }
-            for e in o.mgmt {
-                if let Some(child) = self.consume_emit(now, s, e, queue) {
-                    stack.push(child);
-                }
-            }
-        }
-    }
-
-    fn route(&mut self, now: SimTime, s: usize, out: CloudOut, queue: &mut EventQueue<FedEvent>) {
-        let mut stack = std::mem::take(&mut self.route_buf);
-        stack.push(out);
-        self.route_stack(now, s, &mut stack, queue);
-        self.route_buf = stack;
-    }
-
-    /// Routes the plane emissions accumulated in shard `s`'s scratch
-    /// buffer, leaving the (emptied) buffer in place for the next event.
-    fn route_scratch(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<FedEvent>) {
-        let mut emits = std::mem::take(&mut self.shards[s].scratch);
-        let mut stack = std::mem::take(&mut self.route_buf);
-        for e in emits.drain(..) {
-            if let Some(child) = self.consume_emit(now, s, e, queue) {
-                stack.push(child);
-            }
-        }
-        self.shards[s].scratch = emits;
-        self.route_stack(now, s, &mut stack, queue);
-        self.route_buf = stack;
-    }
-
-    fn submit_cloud(
-        &mut self,
-        now: SimTime,
-        s: usize,
-        req: CloudRequest,
-        queue: &mut EventQueue<FedEvent>,
-    ) {
-        let Shard {
-            director, plane, ..
-        } = &mut self.shards[s];
-        let (_, out) = director.submit(now, req, plane);
-        self.route(now, s, out, queue);
-    }
-
-    fn submit_op(
-        &mut self,
-        now: SimTime,
-        s: usize,
-        op: Operation,
-        queue: &mut EventQueue<FedEvent>,
-    ) {
-        debug_assert!(self.shards[s].scratch.is_empty());
-        let mut emits = std::mem::take(&mut self.shards[s].scratch);
-        self.shards[s].plane.submit(now, op, &mut emits);
-        self.shards[s].scratch = emits;
-        self.route_scratch(now, s, queue);
-    }
-}
-
-impl Model for FedModel {
-    type Event = FedEvent;
-
-    fn handle(&mut self, now: SimTime, event: FedEvent, queue: &mut EventQueue<FedEvent>) {
-        match event {
-            FedEvent::Mgmt(s, ev) => {
-                debug_assert!(self.shards[s].scratch.is_empty());
-                let mut emits = std::mem::take(&mut self.shards[s].scratch);
-                self.shards[s].plane.handle(now, ev, &mut emits);
-                self.shards[s].scratch = emits;
-                self.route_scratch(now, s, queue);
-            }
-            FedEvent::Lease(s, vapp) => {
-                let Shard {
-                    director, plane, ..
-                } = &mut self.shards[s];
-                let out = director.on_lease_expiry(now, vapp, plane);
-                self.route(now, s, out, queue);
-            }
-            FedEvent::Request(s, req) => self.submit_cloud(now, s, req, queue),
-            FedEvent::Op(s, op) => self.submit_op(now, s, Operation::new(op), queue),
-            FedEvent::StoreSync(s) => {
-                debug_assert!(self.shards[s].scratch.is_empty());
-                let mut emits = std::mem::take(&mut self.shards[s].scratch);
-                self.shards[s].plane.sync_placement_gate(now, &mut emits);
-                self.shards[s].scratch = emits;
-                self.route_scratch(now, s, queue);
-                queue.schedule(now + self.staleness, FedEvent::StoreSync(s));
-            }
-            FedEvent::MigrateStart(id) => {
-                let Some(m) = self.migrations.get_mut(&id) else {
-                    return;
-                };
-                m.started = now;
-                let (src, vm) = (m.src, m.vm);
-                let op = Operation::tagged(OpKind::DestroyVm { vm }, MIG_TAG_BASE + id);
-                self.submit_op(now, src, op, queue);
-            }
-            FedEvent::MigrateHandoff(id) => {
-                let Some(m) = self.migrations.get(&id).copied() else {
-                    return;
-                };
-                self.store.borrow_mut().on_handoff();
-                // The destination refreshes its shared-pool view as part
-                // of the handoff (it is about to place into it), then
-                // admits the VM as a linked clone of its local template.
-                debug_assert!(self.shards[m.dst].scratch.is_empty());
-                let mut emits = std::mem::take(&mut self.shards[m.dst].scratch);
-                self.shards[m.dst]
-                    .plane
-                    .sync_placement_gate(now, &mut emits);
-                self.shards[m.dst].scratch = emits;
-                self.route_scratch(now, m.dst, queue);
-                let source = self.shards[m.dst].templates[0];
-                let op = Operation::tagged(
-                    OpKind::CloneVm {
-                        source,
-                        mode: CloneMode::Linked,
-                    },
-                    MIG_TAG_BASE + id,
-                );
-                self.submit_op(now, m.dst, op, queue);
-            }
-        }
-    }
-}
-
-/// A runnable federated simulation.
-///
-/// Construct via [`FedScenario`](crate::FedScenario); drive with
-/// [`run_until`](FedSim::run_until); inspect per shard through the
-/// accessors.
-pub struct FedSim {
-    sim: Simulation<FedModel>,
-}
-
-impl FedSim {
-    /// Internal constructor used by [`FedScenario`](crate::FedScenario).
-    pub(crate) fn assemble(
-        setups: Vec<ShardSetup>,
-        store: Rc<RefCell<PlacementStore>>,
-        staleness: SimDuration,
-        handoff_delay: SimDuration,
-    ) -> Self {
-        let shard_count = setups.len();
-        let mut init: Vec<(usize, Vec<Emit>)> = Vec::new();
-        let mut shards = Vec::with_capacity(shard_count);
-        for (s, setup) in setups.into_iter().enumerate() {
-            init.push((s, setup.plane.init_events()));
-            shards.push(Shard {
-                plane: setup.plane,
-                director: setup.director,
-                org: setup.org,
-                hosts: setup.hosts,
-                datastores: setup.datastores,
-                templates: setup.templates,
-                initial_vms: setup.initial_vms,
-                trace: TraceLog::new(),
-                task_reports_kept: Vec::new(),
-                cloud_reports: Vec::new(),
-                scratch: Vec::new(),
-            });
-        }
-        let model = FedModel {
-            shards,
-            store,
-            staleness,
-            handoff_delay,
-            keep_task_reports: false,
-            migrations: FastMap::default(),
-            next_migration_id: 0,
-            migration_reports: Vec::new(),
-            reservations: FastMap::default(),
-            route_buf: Vec::new(),
-        };
-        let mut sim = Simulation::new(model);
-        for (s, emits) in init {
-            for e in emits {
-                if let Emit::At(t, ev) = e {
-                    sim.schedule(t, FedEvent::Mgmt(s, ev));
-                }
-            }
-        }
-        if shard_count > 1 {
-            // Stagger the first sync of each shard across one window so
-            // refreshes don't stampede the same instant.
-            for s in 0..shard_count {
-                let frac = (s + 1) as f64 / shard_count as f64;
-                let at = SimTime::ZERO + SimDuration::from_secs_f64(staleness.as_secs_f64() * frac);
-                sim.schedule(at, FedEvent::StoreSync(s));
-            }
-        }
-        FedSim { sim }
-    }
-
-    /// Runs until `horizon` (events after it remain queued).
-    pub fn run_until(&mut self, horizon: SimTime) {
-        self.sim.run_until(horizon);
-    }
-
     /// Runs for `span` past the current time.
     pub fn run_for(&mut self, span: SimDuration) {
         let horizon = self.now() + span;
@@ -451,78 +590,85 @@ impl FedSim {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.now
     }
 
-    /// Events processed so far.
+    /// Events processed so far, across every shard and the coordinator.
     pub fn events_processed(&self) -> u64 {
-        self.sim.events_processed()
+        let shard_events: u64 = self
+            .shard_sims
+            .iter()
+            .map(Simulation::events_processed)
+            .sum();
+        shard_events + self.coord.events
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.sim.model().shards.len()
+        self.shard_sims.len()
     }
 
     /// Keep full task reports in memory on every shard (off by default).
     pub fn keep_task_reports(&mut self, on: bool) {
-        self.sim.model_mut().keep_task_reports = on;
+        for sim in &mut self.shard_sims {
+            sim.model_mut().keep_task_reports = on;
+        }
     }
 
     /// Shard `s`'s control plane.
     pub fn plane(&self, s: usize) -> &ControlPlane {
-        &self.sim.model().shards[s].plane
+        &self.shard_sims[s].model().plane
     }
 
     /// Shard `s`'s cloud director.
     pub fn director(&self, s: usize) -> &CloudDirector {
-        &self.sim.model().shards[s].director
+        &self.shard_sims[s].model().director
     }
 
     /// Shard `s`'s default org.
     pub fn org(&self, s: usize) -> OrgId {
-        self.sim.model().shards[s].org
+        self.shard_sims[s].model().org
     }
 
     /// Shard `s`'s hosts, in creation order (home first, then shared).
     pub fn hosts(&self, s: usize) -> &[HostId] {
-        &self.sim.model().shards[s].hosts
+        &self.shard_sims[s].model().hosts
     }
 
     /// Shard `s`'s datastores, in creation order (home first, then shared).
     pub fn datastores(&self, s: usize) -> &[DatastoreId] {
-        &self.sim.model().shards[s].datastores
+        &self.shard_sims[s].model().datastores
     }
 
     /// Shard `s`'s catalog templates.
     pub fn templates(&self, s: usize) -> &[VmId] {
-        &self.sim.model().shards[s].templates
+        &self.shard_sims[s].model().templates
     }
 
     /// Shard `s`'s pre-installed VMs, in creation order.
     pub fn initial_vms(&self, s: usize) -> &[VmId] {
-        &self.sim.model().shards[s].initial_vms
+        &self.shard_sims[s].model().initial_vms
     }
 
     /// Shard `s`'s operation trace.
     pub fn trace(&self, s: usize) -> &TraceLog {
-        &self.sim.model().shards[s].trace
+        &self.shard_sims[s].model().trace
     }
 
     /// Shard `s`'s completed cloud requests.
     pub fn cloud_reports(&self, s: usize) -> &[CloudReport] {
-        &self.sim.model().shards[s].cloud_reports
+        &self.shard_sims[s].model().cloud_reports
     }
 
     /// Shard `s`'s full task reports (only if `keep_task_reports` is on).
     pub fn task_reports(&self, s: usize) -> &[TaskReport] {
-        &self.sim.model().shards[s].task_reports_kept
+        &self.shard_sims[s].model().task_reports_kept
     }
 
     /// A load observation for routing: tasks in flight plus pending
     /// admissions on shard `s`.
     pub fn shard_load(&self, s: usize) -> usize {
-        let plane = &self.sim.model().shards[s].plane;
+        let plane = &self.shard_sims[s].model().plane;
         plane.tasks_in_flight() + plane.admission().pending_len()
     }
 
@@ -535,7 +681,7 @@ impl FedSim {
 
     /// Aggregated placement-store statistics.
     pub fn store_stats(&self) -> StoreStats {
-        self.sim.model().store.borrow().stats()
+        self.cell.locked(|st| st.stats())
     }
 
     /// Checks the shared ledger's conservation invariants.
@@ -544,17 +690,17 @@ impl FedSim {
     ///
     /// Returns a description of the first violated invariant.
     pub fn check_store_invariants(&self) -> Result<(), String> {
-        self.sim.model().store.borrow().check_invariants()
+        self.cell.locked(|st| st.check_invariants())
     }
 
     /// Completed cross-shard migrations, in completion order.
     pub fn migration_reports(&self) -> &[MigrationReport] {
-        &self.sim.model().migration_reports
+        &self.coord.reports
     }
 
     /// Cross-shard migrations still in flight.
     pub fn migrations_in_flight(&self) -> usize {
-        self.sim.model().migrations.len()
+        self.coord.migrations.len()
     }
 
     /// Schedules a cloud request on shard `s` at `at`.
@@ -564,7 +710,7 @@ impl FedSim {
     /// Panics if `at` is in the past or `s` is out of range.
     pub fn schedule_request(&mut self, at: SimTime, s: usize, req: CloudRequest) {
         assert!(s < self.shard_count(), "shard {s} out of range");
-        self.sim.schedule(at, FedEvent::Request(s, req));
+        self.shard_sims[s].schedule(at, ShardEvent::Request(req));
     }
 
     /// Schedules a raw management operation on shard `s` at `at`.
@@ -574,7 +720,7 @@ impl FedSim {
     /// Panics if `at` is in the past or `s` is out of range.
     pub fn schedule_op(&mut self, at: SimTime, s: usize, op: OpKind) {
         assert!(s < self.shard_count(), "shard {s} out of range");
-        self.sim.schedule(at, FedEvent::Op(s, op));
+        self.shard_sims[s].schedule(at, ShardEvent::Op(op));
     }
 
     /// Schedules a cross-shard migration of `vm` from shard `src` to
@@ -583,7 +729,8 @@ impl FedSim {
     /// The protocol is evacuate (destroy on `src`) → placement-store
     /// handoff (after the configured delay) → admit (linked clone of
     /// `dst`'s first template). The outcome lands in
-    /// [`migration_reports`](FedSim::migration_reports).
+    /// [`migration_reports`](FedSim::migration_reports). Scheduling a
+    /// migration pins the rest of the run to the sequential executor.
     ///
     /// # Panics
     ///
@@ -591,10 +738,11 @@ impl FedSim {
     pub fn schedule_migration(&mut self, at: SimTime, src: usize, dst: usize, vm: VmId) -> u64 {
         let n = self.shard_count();
         assert!(src < n && dst < n, "shard out of range");
-        let m = self.sim.model_mut();
-        let id = m.next_migration_id;
-        m.next_migration_id += 1;
-        m.migrations.insert(
+        assert!(at >= self.now, "migration scheduled in the past");
+        self.migrations_used = true;
+        let id = self.coord.next_migration_id;
+        self.coord.next_migration_id += 1;
+        self.coord.migrations.insert(
             id,
             Migration {
                 src,
@@ -603,7 +751,7 @@ impl FedSim {
                 started: at,
             },
         );
-        self.sim.schedule(at, FedEvent::MigrateStart(id));
+        self.coord.queue.schedule(at, CoordEvent::MigrateStart(id));
         id
     }
 }
@@ -697,6 +845,41 @@ mod tests {
         assert_ne!(run(7), run(8));
     }
 
+    /// The parallel runner is an implementation detail: any intra-jobs
+    /// setting replays the sequential oracle op-for-op.
+    #[test]
+    fn intra_jobs_do_not_change_results() {
+        let run = |intra_jobs: usize| {
+            let mut sim = FedScenario::new(contended(3)).seed(11).build();
+            sim.set_intra_jobs(intra_jobs);
+            sim.keep_task_reports(true);
+            for s in 0..3 {
+                burst(&mut sim, s, 8);
+            }
+            // Multiple slices: the turnstile is re-armed per run_until.
+            for h in 1..=4 {
+                sim.run_until(SimTime::from_secs(1_800 * h));
+            }
+            sim.check_store_invariants().unwrap();
+            let per_shard: Vec<_> = (0..3)
+                .map(|s| {
+                    let st = sim.plane(s).stats();
+                    (
+                        sim.trace(s).records().to_vec(),
+                        sim.task_reports(s).to_vec(),
+                        sim.cloud_reports(s).to_vec(),
+                        (st.submitted(), st.completed(), st.placement_conflicts()),
+                    )
+                })
+                .collect();
+            (per_shard, sim.store_stats(), sim.events_processed())
+        };
+        let oracle = run(1);
+        assert_eq!(oracle, run(2));
+        assert_eq!(oracle, run(3));
+        assert_eq!(oracle, run(0));
+    }
+
     #[test]
     fn conflicts_resolve_to_one_winner_and_retries_complete() {
         // Nearly-full shared pool: 2 shards racing for the last slots.
@@ -742,6 +925,22 @@ mod tests {
         // The evacuated VM is gone from the source inventory.
         assert!(sim.plane(0).inventory().vm(vm).is_none());
         sim.check_store_invariants().unwrap();
+    }
+
+    /// Scheduling a migration pins the run to the sequential executor
+    /// even when intra-jobs asks for threads, and still completes.
+    #[test]
+    fn migrations_force_the_sequential_path() {
+        let mut topo = contended(2);
+        topo.initial_vms_per_shard = vec![2, 0];
+        let mut sim = FedScenario::new(topo).seed(5).build();
+        sim.set_intra_jobs(2);
+        let vm = sim.initial_vms(0)[0];
+        sim.schedule_migration(SimTime::from_secs(1), 0, 1, vm);
+        sim.run_until(SimTime::from_hours(1));
+        assert_eq!(sim.migrations_in_flight(), 0);
+        assert_eq!(sim.migration_reports().len(), 1);
+        assert!(sim.migration_reports()[0].success);
     }
 
     #[test]

@@ -2,9 +2,8 @@
 //! — N control-plane shards over partitioned home inventory plus a shared
 //! spillover pool — and build a runnable [`FedSim`].
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cpsim_cloud::{CloudDirector, ProvisioningPolicy};
 use cpsim_des::{SimDuration, Streams};
@@ -15,6 +14,7 @@ use cpsim_mgmt::{CloneMode, ControlPlane, ControlPlaneConfig};
 use crate::driver::{FedSim, ShardSetup};
 use crate::gate::StoreGate;
 use crate::store::PlacementStore;
+use crate::turnstile::StoreCell;
 
 /// A federated topology: per-shard home inventory plus a shared
 /// spillover pool registered in every shard.
@@ -165,12 +165,12 @@ impl FedScenario {
         let t = &self.topology;
         t.validate();
         let streams = Streams::new(self.seed);
-        let store = Rc::new(RefCell::new(PlacementStore::new(t.shards)));
+        let cell = Arc::new(StoreCell::new(PlacementStore::new(t.shards), t.shards));
         let shared_ds_idx: Vec<usize> = (0..t.shared_ds)
-            .map(|_| store.borrow_mut().add_shared_ds(t.shared_ds_capacity_gb))
+            .map(|_| cell.locked(|st| st.add_shared_ds(t.shared_ds_capacity_gb)))
             .collect();
         let shared_host_idx: Vec<usize> = (0..t.shared_hosts)
-            .map(|_| store.borrow_mut().add_shared_host(t.host_mem_mb))
+            .map(|_| cell.locked(|st| st.add_shared_host(t.host_mem_mb)))
             .collect();
 
         let mut setups: Vec<ShardSetup> = Vec::with_capacity(t.shards);
@@ -283,7 +283,7 @@ impl FedScenario {
                         .datastore(local)
                         .map(|d| d.used_gb)
                         .unwrap_or(0.0);
-                    store.borrow_mut().seed_ds(shared_ds_idx[k], s, used);
+                    cell.locked(|st| st.seed_ds(shared_ds_idx[k], s, used));
                     ds_map.insert(local, shared_ds_idx[k]);
                 }
                 let mut host_map = BTreeMap::new();
@@ -292,7 +292,7 @@ impl FedScenario {
                 }
                 plane.set_placement_gate(Box::new(StoreGate::new(
                     s,
-                    Rc::clone(&store),
+                    Arc::clone(&cell),
                     ds_map,
                     host_map,
                 )));
@@ -307,6 +307,8 @@ impl FedScenario {
                 datastores,
                 templates,
                 initial_vms,
+                shared_hosts: shared_hosts_local,
+                shared_ds: shared_ds_local,
             });
         }
 
@@ -319,6 +321,6 @@ impl FedScenario {
             }
         }
 
-        FedSim::assemble(setups, store, self.staleness, self.handoff_delay)
+        FedSim::assemble(setups, cell, self.staleness, self.handoff_delay)
     }
 }

@@ -62,6 +62,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/des/src/engine.rs",
     "crates/des/src/queue.rs",
     "crates/des/src/wheel.rs",
+    "crates/federation/src/runner.rs",
+    "crates/federation/src/turnstile.rs",
     "crates/mgmt/src/admission.rs",
     "crates/mgmt/src/placement.rs",
     "crates/mgmt/src/plane.rs",

@@ -71,7 +71,7 @@ pub use admission::{AdmissionControl, Scope};
 pub use config::{AdmissionLimits, ControlCostModel, ControlPlaneConfig};
 pub use cpsim_faults::{FaultKind, RecoveryPolicy};
 pub use gate::{GateDecision, PlacementGate};
-pub use op::{CloneMode, OpKind, Operation};
+pub use op::{AddHostParams, CloneMode, OpKind, Operation};
 pub use placement::{PlacementPolicy, Placer};
 pub use plane::{ControlPlane, Emit, MgmtEvent};
 pub use recovery::FaultInjector;

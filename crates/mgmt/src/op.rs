@@ -96,12 +96,12 @@ pub enum OpKind {
         dst: DatastoreId,
     },
     /// Add a host to the inventory (agent install + initial sync).
-    AddHost {
-        /// The new host's declared capacity.
-        spec: HostSpec,
-        /// Datastores to connect it to.
-        datastores: Vec<DatastoreId>,
-    },
+    ///
+    /// The payload is boxed: add-host is the rarest operation and its
+    /// inline form (a 40-byte `HostSpec` plus a datastore list) would set
+    /// the size of *every* queued management event — pure memcpy weight on
+    /// the kernel hot path (see `cpsim_des::MAX_EVENT_BYTES`).
+    AddHost(Box<AddHostParams>),
     /// Rescan storage on a host after datastore changes.
     RescanDatastores {
         /// Target host.
@@ -109,7 +109,21 @@ pub enum OpKind {
     },
 }
 
+/// Payload of [`OpKind::AddHost`], boxed to keep the event union small.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AddHostParams {
+    /// The new host's declared capacity.
+    pub spec: HostSpec,
+    /// Datastores to connect it to.
+    pub datastores: Vec<DatastoreId>,
+}
+
 impl OpKind {
+    /// Builds an [`OpKind::AddHost`], boxing the parameters.
+    pub fn add_host(spec: HostSpec, datastores: Vec<DatastoreId>) -> Self {
+        OpKind::AddHost(Box::new(AddHostParams { spec, datastores }))
+    }
+
     /// A stable lowercase name for stats and traces.
     pub fn name(&self) -> &'static str {
         match self {
@@ -135,7 +149,7 @@ impl OpKind {
             OpKind::MigrateVm { .. } => "migrate-vm",
             OpKind::RelocateVm { .. } => "relocate-vm",
             OpKind::SeedTemplate { .. } => "seed-template",
-            OpKind::AddHost { .. } => "add-host",
+            OpKind::AddHost(..) => "add-host",
             OpKind::RescanDatastores { .. } => "rescan-datastores",
         }
     }

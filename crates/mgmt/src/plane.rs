@@ -341,7 +341,7 @@ impl ControlPlane {
         let Some(g) = self.gate.as_mut() else {
             return;
         };
-        g.sync(&mut self.inv);
+        g.sync(now, &mut self.inv);
         self.stats.on_placement_sync();
         let cpu = Self::sample_cost(&self.cfg.cost.result_processing, &mut self.rng);
         self.enqueue_cpu(now, Owner::Background, "placement-sync", cpu, out);
@@ -354,7 +354,7 @@ impl ControlPlane {
     /// shared pool (not part of the simulated run).
     pub fn sync_placement_gate_quiet(&mut self) {
         if let Some(g) = self.gate.as_mut() {
-            g.sync(&mut self.inv);
+            g.sync(SimTime::ZERO, &mut self.inv);
         }
     }
 
@@ -1165,8 +1165,8 @@ impl ControlPlane {
         }
 
         match kind {
-            OpKind::CreateVm { spec } => self.plan_create(tid, stage, spec),
-            OpKind::CloneVm { source, mode } => self.plan_clone(tid, stage, source, mode),
+            OpKind::CreateVm { spec } => self.plan_create(now, tid, stage, spec),
+            OpKind::CloneVm { source, mode } => self.plan_clone(now, tid, stage, source, mode),
             OpKind::PowerOn { vm } => self.plan_power(tid, stage, vm, true),
             OpKind::PowerOff { vm } => self.plan_power(tid, stage, vm, false),
             OpKind::Reconfigure { vm } => {
@@ -1178,7 +1178,8 @@ impl ControlPlane {
             OpKind::MigrateVm { vm } => self.plan_migrate(tid, stage, vm),
             OpKind::RelocateVm { vm, dst } => self.plan_relocate(tid, stage, vm, dst),
             OpKind::SeedTemplate { template, dst } => self.plan_seed(tid, stage, template, dst),
-            OpKind::AddHost { spec, datastores } => {
+            OpKind::AddHost(params) => {
+                let crate::op::AddHostParams { spec, datastores } = *params;
                 self.plan_add_host(now, tid, stage, spec, datastores, out)
             }
             OpKind::RescanDatastores { host } => self.plan_rescan(tid, stage, host),
@@ -1194,13 +1195,14 @@ impl ControlPlane {
     /// before returning, so the retried placement scan picks elsewhere).
     fn gate_commit(
         &mut self,
+        now: SimTime,
         host: HostId,
         ds: DatastoreId,
         mem_mb: u64,
         disk_gb: f64,
     ) -> Option<Step> {
         let g = self.gate.as_mut()?;
-        match g.commit(&mut self.inv, host, ds, mem_mb, disk_gb) {
+        match g.commit(now, &mut self.inv, host, ds, mem_mb, disk_gb) {
             GateDecision::Commit => {
                 self.stats.on_placement_commit();
                 None
@@ -1220,7 +1222,7 @@ impl ControlPlane {
         Step::Cpu("placement", base + per_host)
     }
 
-    fn plan_create(&mut self, tid: TaskId, stage: u32, spec: VmSpec) -> Step {
+    fn plan_create(&mut self, now: SimTime, tid: TaskId, stage: u32, spec: VmSpec) -> Step {
         match stage {
             3 => self.placement_step(),
             4 => {
@@ -1230,7 +1232,7 @@ impl ControlPlane {
                 else {
                     return Step::Fail("placement failed: no capacity".into());
                 };
-                if let Some(step) = self.gate_commit(host, ds, spec.mem_mb, spec.disk_gb) {
+                if let Some(step) = self.gate_commit(now, host, ds, spec.mem_mb, spec.disk_gb) {
                     return step;
                 }
                 self.tasks
@@ -1290,7 +1292,14 @@ impl ControlPlane {
         }
     }
 
-    fn plan_clone(&mut self, tid: TaskId, stage: u32, source: VmId, mode: CloneMode) -> Step {
+    fn plan_clone(
+        &mut self,
+        now: SimTime,
+        tid: TaskId,
+        stage: u32,
+        source: VmId,
+        mode: CloneMode,
+    ) -> Step {
         match stage {
             3 => {
                 if mode == CloneMode::Instant {
@@ -1359,7 +1368,7 @@ impl ControlPlane {
                 } else {
                     spec.disk_gb + self.cfg.linked_delta_gb
                 };
-                if let Some(step) = self.gate_commit(host, ds, spec.mem_mb, commit_gb) {
+                if let Some(step) = self.gate_commit(now, host, ds, spec.mem_mb, commit_gb) {
                     return step;
                 }
                 self.tasks

@@ -507,10 +507,10 @@ fn add_host_grows_inventory_and_schedules_heartbeats() {
     let mut emits = r.plane.init_events();
     emits.extend(r.plane.submit_collect(
         SimTime::ZERO,
-        OpKind::AddHost {
-            spec: HostSpec::new("h-new", 48_000, 262_144),
-            datastores: r.datastores.clone(),
-        },
+        OpKind::add_host(
+            HostSpec::new("h-new", 48_000, 262_144),
+            r.datastores.clone(),
+        ),
     ));
     // Bounded horizon: heartbeats recur forever.
     let reports = drive(&mut r.plane, emits, SimTime::from_hours(1));
