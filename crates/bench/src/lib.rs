@@ -196,7 +196,15 @@ pub fn listing_with_baseline(baseline: &[(String, BaselineRecord)]) -> String {
                 None if !baseline.is_empty() => "  (no recorded run)".to_string(),
                 None => String::new(),
             };
-            let marker = if e.federated { "  [federated]" } else { "" };
+            // `[intra-jobs]` marks the federated experiments whose runs
+            // actually exercise the intra-run threaded executor; CI
+            // enumerates them mechanically (grep) for the sanitizer and
+            // CSV-determinism jobs.
+            let marker = match (e.federated, e.intra_jobs) {
+                (true, true) => "  [federated] [intra-jobs]",
+                (true, false) => "  [federated]",
+                _ => "",
+            };
             format!(
                 "  {:4} {}  [{} quick / {} full sweep points]{}{}",
                 e.id, e.title, e.sweep_quick, e.sweep_full, marker, recorded
@@ -828,8 +836,15 @@ mod tests {
                 "{} federated marker mismatch",
                 e.id
             );
+            assert_eq!(
+                line.contains("[intra-jobs]"),
+                e.intra_jobs,
+                "{} intra-jobs marker mismatch",
+                e.id
+            );
         }
         assert!(listing().contains("[federated]"));
+        assert!(listing().contains("[intra-jobs]"));
     }
 
     #[test]

@@ -477,7 +477,7 @@ impl CloudDirector {
                             .iter()
                             .find(|(id, _, _)| *id == ds)
                             .map(|(_, u, c)| (*u, *c))
-                            .expect("tracked");
+                            .expect("usage covers every datastore; ds came from it");
                         if src_cap <= 0.0 || src_used / src_cap <= target {
                             break;
                         }
@@ -680,7 +680,10 @@ impl CloudDirector {
             wf.outstanding == 0
         };
         if complete {
-            let wf = self.workflows.remove(&wf_id).expect("present");
+            let wf = self
+                .workflows
+                .remove(&wf_id)
+                .expect("the `complete` closure just read this entry");
             let report = Self::report_of(wf_id, &wf, now);
             self.stats.on_completed(&report);
             self.finalize_vapp(&wf, now, &mut out);

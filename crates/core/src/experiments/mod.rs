@@ -134,6 +134,12 @@ pub struct Experiment {
     /// Whether the experiment drives the federated multi-shard model
     /// (`cpsim-federation`) rather than a single control plane.
     pub federated: bool,
+    /// Whether the experiment's federated runs actually exercise the
+    /// intra-run threaded executor (`--intra-jobs`). False for federated
+    /// experiments that schedule cross-shard migrations, which pin the
+    /// run to the sequential executor. `repro list` marks these
+    /// `[intra-jobs]` so CI can enumerate them mechanically.
+    pub intra_jobs: bool,
 }
 
 impl Experiment {
@@ -159,6 +165,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 3,
             sweep_full: 3,
             federated: false,
+            intra_jobs: false,
             run: t1_environments::run,
         },
         Experiment {
@@ -167,6 +174,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 3,
             sweep_full: 3,
             federated: false,
+            intra_jobs: false,
             run: f1_opmix::run,
         },
         Experiment {
@@ -175,6 +183,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 3,
             sweep_full: 3,
             federated: false,
+            intra_jobs: false,
             run: f2_arrivals::run,
         },
         Experiment {
@@ -183,6 +192,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 1,
             sweep_full: 1,
             federated: false,
+            intra_jobs: false,
             run: f3_latency_split::run,
         },
         Experiment {
@@ -191,6 +201,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 9,
             sweep_full: 30,
             federated: false,
+            intra_jobs: false,
             run: f4_throughput::run,
         },
         Experiment {
@@ -199,6 +210,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 3,
             sweep_full: 7,
             federated: false,
+            intra_jobs: false,
             run: f5_utilization::run,
         },
         Experiment {
@@ -207,6 +219,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 3,
             sweep_full: 3,
             federated: false,
+            intra_jobs: false,
             run: f6_lifetimes::run,
         },
         Experiment {
@@ -215,6 +228,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 12,
             sweep_full: 28,
             federated: false,
+            intra_jobs: false,
             run: f7_vapp_scaling::run,
         },
         Experiment {
@@ -223,6 +237,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 4,
             sweep_full: 7,
             federated: false,
+            intra_jobs: false,
             run: f8_reconfig::run,
         },
         Experiment {
@@ -231,6 +246,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 4,
             sweep_full: 4,
             federated: false,
+            intra_jobs: false,
             run: f9_queueing::run,
         },
         Experiment {
@@ -239,6 +255,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 1,
             sweep_full: 1,
             federated: false,
+            intra_jobs: false,
             run: t2_breakdown::run,
         },
         Experiment {
@@ -247,6 +264,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 4,
             sweep_full: 8,
             federated: true,
+            intra_jobs: true,
             run: f10_scaleout::run,
         },
         Experiment {
@@ -255,6 +273,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 2,
             sweep_full: 4,
             federated: false,
+            intra_jobs: false,
             run: f11_heartbeat::run,
         },
         Experiment {
@@ -263,6 +282,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 4,
             sweep_full: 8,
             federated: false,
+            intra_jobs: false,
             run: f12_availability::run,
         },
         Experiment {
@@ -271,6 +291,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 1,
             sweep_full: 1,
             federated: false,
+            intra_jobs: false,
             run: t3_faults::run,
         },
         Experiment {
@@ -279,6 +300,7 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 6,
             sweep_full: 9,
             federated: true,
+            intra_jobs: true,
             run: f13_conflicts::run,
         },
         Experiment {
@@ -287,6 +309,9 @@ pub fn all() -> Vec<Experiment> {
             sweep_quick: 3,
             sweep_full: 5,
             federated: true,
+            // Rebalance schedules cross-shard migrations, which force
+            // the sequential executor regardless of --intra-jobs.
+            intra_jobs: false,
             run: f14_rebalance::run,
         },
     ]

@@ -80,10 +80,14 @@ pub(crate) fn run_threaded(
         for (w, slice) in sims.chunks_mut(chunk).enumerate() {
             let base = w * chunk;
             scope.spawn(move || {
-                while let Some((_, i)) = next_shard(slice, horizon) {
+                while let Some((t, i)) = next_shard(slice, horizon) {
                     // The shard's bound already equals this event's time
                     // (published after its previous step), so other
                     // shards order themselves against it while we run.
+                    #[cfg(feature = "sanitize")]
+                    cell.sanitize_assert_bound_covers(base + i, t.as_micros());
+                    #[cfg(not(feature = "sanitize"))]
+                    let _ = t;
                     slice[i].step();
                     publish_lb(cell, base + i, &slice[i], horizon);
                 }

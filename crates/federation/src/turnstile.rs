@@ -31,6 +31,22 @@ use crate::store::PlacementStore;
 /// and will not touch the store again this slice".
 pub const LB_DONE: u64 = u64::MAX;
 
+/// State for the optional `sanitize` feature: a shadow of the published
+/// bounds plus the last committed access, used to re-verify the
+/// turnstile's happens-before contract at the moment each access runs
+/// (rather than at the moment the waiter decided it could run).
+#[cfg(feature = "sanitize")]
+#[derive(Debug, Default)]
+struct SanitizeState {
+    /// Last store access committed under an active turnstile, as
+    /// `(virtual µs, shard)`. Accesses must be totally ordered
+    /// ascending — the exact order the sequential oracle produces.
+    last_access: Option<(u64, usize)>,
+    /// Shadow of each shard's published bound; publishes must be
+    /// monotone non-decreasing while the turnstile is active.
+    shadow_lbs: Vec<u64>,
+}
+
 /// Shared placement store plus the turnstile state that orders
 /// cross-shard accesses to it under the parallel runner.
 pub struct StoreCell {
@@ -46,6 +62,10 @@ pub struct StoreCell {
     /// Whether the turnstile ordering is enforced. Off outside threaded
     /// slices so sequential paths pay only an uncontended mutex.
     active: AtomicBool,
+    /// Happens-before checker state, compiled in under the `sanitize`
+    /// feature and consulted only while the turnstile is active.
+    #[cfg(feature = "sanitize")]
+    sanitize: Mutex<SanitizeState>,
 }
 
 impl StoreCell {
@@ -57,6 +77,11 @@ impl StoreCell {
             lbs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             waiters: AtomicUsize::new(0),
             active: AtomicBool::new(false),
+            #[cfg(feature = "sanitize")]
+            sanitize: Mutex::new(SanitizeState {
+                last_access: None,
+                shadow_lbs: vec![0; shards],
+            }),
         }
     }
 
@@ -67,6 +92,15 @@ impl StoreCell {
 
     /// Turns turnstile ordering on (threaded slice) or off (sequential).
     pub fn set_active(&self, on: bool) {
+        #[cfg(feature = "sanitize")]
+        if on {
+            // Re-arm the checker from the bounds seeded for this slice.
+            let mut st = self.sanitize.lock().expect("sanitize mutex poisoned");
+            st.last_access = None;
+            for (r, lb) in st.shadow_lbs.iter_mut().enumerate() {
+                *lb = self.lbs[r].load(Ordering::SeqCst);
+            }
+        }
         self.active.store(on, Ordering::SeqCst);
     }
 
@@ -74,6 +108,17 @@ impl StoreCell {
     /// whose turn may have arrived. Bounds must be published
     /// monotonically non-decreasing within a slice.
     pub fn publish(&self, shard: usize, lb_us: u64) {
+        #[cfg(feature = "sanitize")]
+        if self.active.load(Ordering::SeqCst) {
+            let mut st = self.sanitize.lock().expect("sanitize mutex poisoned");
+            let prev = st.shadow_lbs[shard];
+            assert!(
+                lb_us >= prev,
+                "sanitize: shard {shard} published bound {lb_us}µs after {prev}µs; \
+                 bounds must be monotone non-decreasing within an active slice"
+            );
+            st.shadow_lbs[shard] = lb_us;
+        }
         self.lbs[shard].store(lb_us, Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
             // Taking and dropping the store mutex before notifying closes
@@ -122,7 +167,71 @@ impl StoreCell {
                 self.waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
+        #[cfg(feature = "sanitize")]
+        if self.active.load(Ordering::SeqCst) {
+            self.sanitize_check_access(shard, now_us);
+        }
         f(&mut guard)
+    }
+
+    /// Sanitizer: verifies, at the moment an access actually runs, that
+    /// it extends the global ascending `(time, shard)` access order and
+    /// is ordered after every other shard's published bound — the
+    /// happens-before edges the turnstile claims to have established.
+    /// Called with the store mutex held, so the recorded order is the
+    /// real execution order.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check_access(&self, shard: usize, now_us: u64) {
+        let mut st = self.sanitize.lock().expect("sanitize mutex poisoned");
+        if let Some((t, s)) = st.last_access {
+            assert!(
+                (now_us, shard) >= (t, s),
+                "sanitize: store access by shard {shard} at t={now_us}µs ran after \
+                 shard {s}'s access at t={t}µs; parallel access order diverged from \
+                 the sequential oracle (a shard violated its published bound)"
+            );
+        }
+        st.last_access = Some((now_us, shard));
+        for (r, lb) in st.shadow_lbs.iter().enumerate() {
+            if r == shard {
+                continue;
+            }
+            assert!(
+                *lb > now_us || (*lb == now_us && r > shard),
+                "sanitize: shard {shard} ran a store access at t={now_us}µs that is \
+                 not ordered after shard {r}'s published bound of {lb}µs"
+            );
+        }
+    }
+
+    /// Sanitizer: asserts shard `shard`'s published bound does not
+    /// overstate `t_us`, the virtual time of the event it is about to
+    /// execute. A bound above the shard's own next event would let
+    /// other shards overtake store accesses that event may still make.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_assert_bound_covers(&self, shard: usize, t_us: u64) {
+        let lb = self.lbs[shard].load(Ordering::SeqCst);
+        assert!(
+            lb <= t_us,
+            "sanitize: shard {shard} is stepping an event at t={t_us}µs but its \
+             published bound is {lb}µs, overstating its lookahead"
+        );
+    }
+
+    /// Test-only mutation hook for the sanitizer suite: overwrites shard
+    /// `shard`'s published bound (and its sanitizer shadow) without any
+    /// checks, simulating a worker that lies about its lookahead. The
+    /// seeded violation must then be caught by
+    /// [`sanitize_check_access`](Self::sanitize_check_access).
+    #[cfg(feature = "sanitize")]
+    #[doc(hidden)]
+    pub fn sanitize_force_bound(&self, shard: usize, lb_us: u64) {
+        {
+            let mut st = self.sanitize.lock().expect("sanitize mutex poisoned");
+            st.shadow_lbs[shard] = lb_us;
+        }
+        self.lbs[shard].store(lb_us, Ordering::SeqCst);
+        self.cv.notify_all();
     }
 
     /// Runs `f` under the plain store lock with no ordering — for

@@ -1,0 +1,129 @@
+//! Tests for the `sanitize` feature: the turnstile happens-before
+//! checker must stay silent on a correct threaded run and must fire on
+//! each class of seeded protocol violation (mutation tests). Run with:
+//!
+//! ```text
+//! cargo test -p cpsim-federation --features sanitize
+//! ```
+
+#![cfg(feature = "sanitize")]
+// cpsim-lint: profile(harness): integration test driving the public federation API
+
+use cpsim_cloud::CloudRequest;
+use cpsim_des::SimTime;
+use cpsim_federation::{FedScenario, FedTopology, PlacementStore, StoreCell};
+
+fn contended(shards: usize) -> FedTopology {
+    FedTopology {
+        shards,
+        home_hosts_per_shard: 2,
+        home_ds_per_shard: 1,
+        home_ds_capacity_gb: 64.0,
+        shared_hosts: 2,
+        shared_ds: 1,
+        shared_ds_capacity_gb: 500.0,
+        host_cpu_mhz: 48_000,
+        host_mem_mb: 524_288,
+        ds_bandwidth_mbps: 200.0,
+        templates: vec![("fed-template".into(), 2, 2_048, 20.0)],
+        initial_vms_per_shard: Vec::new(),
+        initial_vm_disk_gb: 4.0,
+    }
+}
+
+/// A correct threaded run passes every sanitizer check and still
+/// replays the sequential oracle exactly.
+#[test]
+fn threaded_run_passes_the_sanitizer_and_matches_the_oracle() {
+    let run = |intra_jobs: usize| {
+        let mut sim = FedScenario::new(contended(3)).seed(11).build();
+        sim.set_intra_jobs(intra_jobs);
+        for s in 0..3 {
+            let org = sim.org(s);
+            let template = sim.templates(s)[0];
+            for i in 0..8 {
+                sim.schedule_request(
+                    SimTime::from_micros(1 + i),
+                    s,
+                    CloudRequest::InstantiateVapp {
+                        org,
+                        template,
+                        count: 1,
+                        mode: None,
+                        lease: None,
+                    },
+                );
+            }
+        }
+        // Multiple slices so the sanitizer is re-armed per run_until.
+        for h in 1..=3 {
+            sim.run_until(SimTime::from_secs(1_800 * h));
+        }
+        sim.check_store_invariants().unwrap();
+        (sim.store_stats(), sim.events_processed())
+    };
+    let oracle = run(1);
+    assert_eq!(
+        oracle,
+        run(3),
+        "sanitized threaded run diverged from oracle"
+    );
+}
+
+/// Mutation test: a shard that lies about its lookahead (bound forced
+/// past its real next access) lets another shard overtake it; the
+/// sanitizer must catch the resulting out-of-order access.
+#[test]
+#[should_panic(expected = "parallel access order diverged")]
+fn forced_bound_violation_is_caught() {
+    let cell = StoreCell::new(PlacementStore::new(2), 2);
+    cell.publish(0, 0);
+    cell.publish(1, 0);
+    cell.set_active(true);
+    // Shard 1's real next store access is at t=5µs, but its bound is
+    // forced to 100µs — the seeded protocol violation.
+    cell.sanitize_force_bound(1, 100);
+    // Shard 0 at t=50µs passes the turnstile (shard 1's bound is past
+    // it) and commits its access.
+    cell.publish(0, 50);
+    cell.with(0, 50, |_s| ());
+    cell.publish(0, 60);
+    // Shard 1 now shows up at t=5µs — behind the access that already
+    // ran. my_turn waves it through (shard 0's bound is 60µs > 5µs),
+    // so only the sanitizer can notice the order broke.
+    cell.with(1, 5, |_s| ());
+}
+
+/// Mutation test: publishing a bound that moves backwards within an
+/// active slice breaks the monotone-lookahead contract and must panic.
+#[test]
+#[should_panic(expected = "monotone")]
+fn non_monotone_publish_is_caught() {
+    let cell = StoreCell::new(PlacementStore::new(2), 2);
+    cell.publish(0, 100);
+    cell.set_active(true);
+    cell.publish(0, 50);
+}
+
+/// Mutation test: the runner-side check fires when a shard's published
+/// bound overstates the event it is about to step.
+#[test]
+#[should_panic(expected = "overstating")]
+fn overstated_bound_is_caught_before_stepping() {
+    let cell = StoreCell::new(PlacementStore::new(2), 2);
+    cell.publish(0, 100);
+    // The shard claims nothing before 100µs, then tries to step t=50µs.
+    cell.sanitize_assert_bound_covers(0, 50);
+}
+
+/// The sanitizer is scoped to active slices: sequential paths (plain
+/// lock, turnstile off) are never checked, so out-of-order `locked` /
+/// inactive `with` accesses remain legal.
+#[test]
+fn inactive_cell_is_unchecked() {
+    let cell = StoreCell::new(PlacementStore::new(2), 2);
+    cell.publish(1, 0);
+    cell.with(0, 100, |_s| ());
+    cell.with(1, 5, |_s| ());
+    cell.locked(|_s| ());
+}

@@ -114,7 +114,7 @@ impl HostCostModel {
             .iter()
             .find(|(q, _)| *q == p)
             .map(|(_, d)| d)
-            .unwrap_or_else(|| panic!("cost model has no entry for {p}"))
+            .expect("the default cost model covers every primitive")
     }
 
     /// Replaces the distribution for `p`.

@@ -138,11 +138,17 @@ impl Inventory {
     ) -> Result<(), InventoryError> {
         self.host_checked(host)?;
         self.datastore_checked(datastore)?;
-        let h = self.hosts.get_mut(host).expect("checked");
+        let h = self
+            .hosts
+            .get_mut(host)
+            .expect("host_checked verified the id above");
         if !h.datastores.contains(&datastore) {
             h.datastores.push(datastore);
         }
-        let d = self.datastores.get_mut(datastore).expect("checked");
+        let d = self
+            .datastores
+            .get_mut(datastore)
+            .expect("datastore_checked verified the id above");
         if !d.hosts.contains(&host) {
             d.hosts.push(host);
             self.index.connected(host, datastore);
@@ -200,7 +206,11 @@ impl Inventory {
             return Err(InventoryError::DatastoreNotConnected { host, datastore });
         }
         let id = self.vms.insert(Vm::new(name, spec, host, datastore));
-        self.hosts.get_mut(host).expect("checked").vms.push(id);
+        self.hosts
+            .get_mut(host)
+            .expect("host_checked verified the id above")
+            .vms
+            .push(id);
         self.reindex_host(host);
         Ok(id)
     }
@@ -270,7 +280,10 @@ impl Inventory {
         }
         host.mem_used_mb += mem;
         host.cpu_used_mhz += cpu;
-        self.vms.get_mut(id).expect("checked").power = PowerState::On;
+        self.vms
+            .get_mut(id)
+            .expect("vm_checked verified the id above")
+            .power = PowerState::On;
         self.powered_on += 1;
         self.reindex_host(host_id);
         Ok(())
@@ -289,7 +302,10 @@ impl Inventory {
             host.cpu_used_mhz = host.cpu_used_mhz.saturating_sub(cpu);
             self.reindex_host(host_id);
         }
-        self.vms.get_mut(id).expect("checked").power = PowerState::Off;
+        self.vms
+            .get_mut(id)
+            .expect("vm_checked verified the id above")
+            .power = PowerState::Off;
         self.powered_on -= 1;
         Ok(())
     }
@@ -338,13 +354,19 @@ impl Inventory {
                 h.cpu_used_mhz = h.cpu_used_mhz.saturating_sub(cpu);
             }
         }
-        let h = self.hosts.get_mut(to_host).expect("checked");
+        let h = self
+            .hosts
+            .get_mut(to_host)
+            .expect("host_checked verified the id above");
         h.vms.push(id);
         if powered {
             h.mem_used_mb += mem;
             h.cpu_used_mhz += cpu;
         }
-        self.vms.get_mut(id).expect("checked").host = to_host;
+        self.vms
+            .get_mut(id)
+            .expect("vm_checked verified the id above")
+            .host = to_host;
         self.reindex_host(from);
         self.reindex_host(to_host);
         Ok(())

@@ -27,13 +27,17 @@
 //!
 //! Run with `cargo run -p cpsim-lint -- --check`.
 
+pub mod graph;
+pub mod graph_rules;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod source;
 
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use graph::SymbolGraph;
 pub use report::{FileReport, Report, Violation};
 pub use rules::{RuleId, ALL_RULES};
 pub use source::{Directive, Profile, SourceFile};
@@ -56,11 +60,22 @@ pub const SIM_CRATES: &[&str] = &[
 /// Directories checked under the looser harness profile (workspace-relative).
 pub const HARNESS_DIRS: &[&str] = &["crates/bench/src", "src", "examples"];
 
-/// Files whose panics would take down a simulation mid-run: the dispatch,
-/// event-queue, admission, and placement hot paths (`no-panic-hot-path`).
+/// The PR-4-era hand-maintained hot-path file list.
+///
+/// Workspace scans no longer consult it: R7 (`panic-reachability`) computes
+/// the hot set as the call-graph closure of
+/// [`resolve::HOT_ENTRY_POINTS`]. The list is retained as a *regression
+/// floor* — the selfcheck suite asserts every file named here still
+/// contains a fn inside R7's computed closure, so the graph can never
+/// silently cover less than the old list did. `--hot` single-file scans
+/// (R5) still work for fixtures and ad-hoc audits.
+///
+/// Re-audit note: `crates/des/src/queue.rs` was dropped from the list.
+/// The graph proves its `TokenGen`/`TimerToken` pair has no non-test
+/// callers anywhere in the workspace (the wheel took over cancellation),
+/// so keeping it would make the floor assert on vacuously-cold code.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/des/src/engine.rs",
-    "crates/des/src/queue.rs",
     "crates/des/src/wheel.rs",
     "crates/federation/src/runner.rs",
     "crates/federation/src/turnstile.rs",
@@ -84,12 +99,17 @@ pub enum ProfilePolicy {
 }
 
 /// Scans one parsed source file under the given policy.
+///
+/// `extra` carries workspace-graph rule hits (R7–R9) attributed to this
+/// file; they pass through the same profile, test-exemption, and
+/// suppression machinery as pattern hits.
 pub fn scan_source(
     src: &SourceFile,
     default_profile: Profile,
     policy: ProfilePolicy,
     hot_path: bool,
     enabled: &[RuleId],
+    extra: &[(RuleId, rules::RawViolation)],
 ) -> FileReport {
     let mut violations = Vec::new();
     let mut suppressed = Vec::new();
@@ -163,30 +183,51 @@ pub fn scan_source(
         }
     }
 
-    // Pattern rules.
+    // Pattern rules, then graph-rule hits attributed to this file — both
+    // funneled through the same exemption and suppression checks.
+    let consider = |rule: RuleId,
+                    raw: rules::RawViolation,
+                    violations: &mut Vec<Violation>,
+                    suppressed: &mut Vec<Violation>| {
+        if src.is_exempt(raw.byte) {
+            return;
+        }
+        let line = src.line_of(raw.byte);
+        let v = Violation {
+            rule,
+            path: src.rel.clone(),
+            line,
+            col: src.col_of(raw.byte),
+            message: raw.message,
+            snippet: src.line_text(line).trim().to_string(),
+        };
+        if is_suppressed(src, rule, line) {
+            suppressed.push(v);
+        } else {
+            violations.push(v);
+        }
+    };
     for &rule in enabled {
         if rule == RuleId::LintDirective || !rule.applies(profile, hot_path) {
             continue;
         }
         for raw in rules::check(src, rule) {
-            if src.is_exempt(raw.byte) {
-                continue;
-            }
-            let line = src.line_of(raw.byte);
-            let v = Violation {
-                rule,
-                path: src.rel.clone(),
-                line,
-                col: src.col_of(raw.byte),
-                message: raw.message,
-                snippet: src.line_text(line).trim().to_string(),
-            };
-            if is_suppressed(src, rule, line) {
-                suppressed.push(v);
-            } else {
-                violations.push(v);
-            }
+            consider(rule, raw, &mut violations, &mut suppressed);
         }
+    }
+    for (rule, raw) in extra {
+        if !enabled.contains(rule) || !rule.applies(profile, hot_path) {
+            continue;
+        }
+        consider(
+            *rule,
+            rules::RawViolation {
+                byte: raw.byte,
+                message: raw.message.clone(),
+            },
+            &mut violations,
+            &mut suppressed,
+        );
     }
 
     FileReport {
@@ -211,6 +252,7 @@ fn is_suppressed(src: &SourceFile, rule: RuleId, line: usize) -> bool {
 
 /// Loads and scans a single file (used by the CLI's explicit-path mode and
 /// the conformance tests; profile directives in the file are honored).
+/// Pattern rules only — graph rules need a file *set*; see [`scan_files`].
 pub fn scan_path(
     path: &Path,
     default_profile: Profile,
@@ -226,7 +268,43 @@ pub fn scan_path(
         ProfilePolicy::Honor,
         hot_path,
         enabled,
+        &[],
     ))
+}
+
+/// Loads and scans a set of files as one unit: a symbol graph is built
+/// over the whole set, so the graph rules (R7–R9) see cross-file call
+/// chains. Used by the CLI's multi-file mode and the fixture-crate tests.
+pub fn scan_files(
+    paths: &[PathBuf],
+    default_profile: Profile,
+    hot_path: bool,
+    enabled: &[RuleId],
+    cfg: &graph_rules::GraphConfig,
+) -> io::Result<Vec<FileReport>> {
+    let mut srcs = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path.to_string_lossy().replace('\\', "/");
+        srcs.push(SourceFile::parse(path.clone(), rel, text));
+    }
+    let refs: Vec<&SourceFile> = srcs.iter().collect();
+    let g = SymbolGraph::build(&refs);
+    let extras = graph_rules::check(&g, &refs, cfg);
+    Ok(srcs
+        .iter()
+        .zip(extras.iter())
+        .map(|(src, extra)| {
+            scan_source(
+                src,
+                default_profile,
+                ProfilePolicy::Honor,
+                hot_path,
+                enabled,
+                extra,
+            )
+        })
+        .collect())
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
@@ -250,43 +328,94 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// The full workspace scan: every sim crate under the sim profile, the
-/// bench/repro harness and examples under the harness profile.
-pub fn run_workspace(root: &Path, enabled: &[RuleId]) -> io::Result<Report> {
+/// One file of the workspace scan set, with its scan parameters.
+pub struct LoadedFile {
+    pub src: SourceFile,
+    pub profile: Profile,
+    pub policy: ProfilePolicy,
+}
+
+/// Loads the full workspace scan set in deterministic order: every sim
+/// crate under the sim profile, then the bench/repro harness and examples
+/// under the harness profile.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<LoadedFile>> {
     let mut files = Vec::new();
-    let scan_dir =
-        |dir: PathBuf, profile: Profile, policy: ProfilePolicy, files: &mut Vec<FileReport>| {
-            let mut paths = Vec::new();
-            walk_rs(&dir, &mut paths)?;
-            for path in paths {
-                let rel = path
-                    .strip_prefix(root)
-                    .unwrap_or(&path)
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                let hot = HOT_PATH_FILES.contains(&rel.as_str());
-                let text = std::fs::read_to_string(&path)?;
-                let src = SourceFile::parse(path.clone(), rel, text);
-                files.push(scan_source(&src, profile, policy, hot, enabled));
-            }
-            io::Result::Ok(())
-        };
+    let mut load_dir = |dir: PathBuf, profile: Profile, policy: ProfilePolicy| {
+        let mut paths = Vec::new();
+        walk_rs(&dir, &mut paths)?;
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&path)?;
+            files.push(LoadedFile {
+                src: SourceFile::parse(path.clone(), rel, text),
+                profile,
+                policy,
+            });
+        }
+        io::Result::Ok(())
+    };
     for krate in SIM_CRATES {
-        scan_dir(
+        load_dir(
             root.join("crates").join(krate).join("src"),
             Profile::Sim,
             ProfilePolicy::ForbidHarness,
-            &mut files,
         )?;
     }
     for dir in HARNESS_DIRS {
-        scan_dir(
+        load_dir(
             root.join(dir),
             Profile::Harness,
             ProfilePolicy::RequireHarness,
-            &mut files,
         )?;
     }
+    Ok(files)
+}
+
+/// Builds the symbol graph over the sim-profile files of a loaded set.
+/// Returns the graph plus the indices (into `files`) of the graphed files,
+/// in graph order.
+pub fn build_graph(files: &[LoadedFile]) -> (SymbolGraph, Vec<usize>) {
+    let sim_idx: Vec<usize> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.profile == Profile::Sim)
+        .map(|(i, _)| i)
+        .collect();
+    let refs: Vec<&SourceFile> = sim_idx.iter().map(|&i| &files[i].src).collect();
+    (SymbolGraph::build(&refs), sim_idx)
+}
+
+/// The full workspace scan with default graph-rule configuration.
+pub fn run_workspace(root: &Path, enabled: &[RuleId]) -> io::Result<Report> {
+    run_workspace_with(root, enabled, &graph_rules::GraphConfig::default())
+}
+
+/// The full workspace scan: per-file pattern rules plus the workspace
+/// symbol-graph rules (R7–R9) computed over all sim crates.
+pub fn run_workspace_with(
+    root: &Path,
+    enabled: &[RuleId],
+    cfg: &graph_rules::GraphConfig,
+) -> io::Result<Report> {
+    let loaded = load_workspace(root)?;
+    let (g, sim_idx) = build_graph(&loaded);
+    let refs: Vec<&SourceFile> = sim_idx.iter().map(|&i| &loaded[i].src).collect();
+    let graph_hits = graph_rules::check(&g, &refs, cfg);
+    // Re-key graph hits by loaded-file index.
+    let mut extras: Vec<Vec<(RuleId, rules::RawViolation)>> =
+        (0..loaded.len()).map(|_| Vec::new()).collect();
+    for (gi, hits) in graph_hits.into_iter().enumerate() {
+        extras[sim_idx[gi]] = hits;
+    }
+    let files = loaded
+        .iter()
+        .zip(extras.iter())
+        .map(|(f, extra)| scan_source(&f.src, f.profile, f.policy, false, enabled, extra))
+        .collect();
     Ok(Report {
         root: root.to_path_buf(),
         files,

@@ -14,7 +14,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cpsim_lint::{
-    find_workspace_root, run_workspace, scan_path, Profile, Report, RuleId, ALL_RULES,
+    build_graph, find_workspace_root, graph_rules::GraphConfig, load_workspace, resolve,
+    run_workspace_with, scan_files, Profile, Report, RuleId, ALL_RULES,
 };
 
 struct Args {
@@ -23,6 +24,8 @@ struct Args {
     root: Option<PathBuf>,
     rules: Vec<RuleId>,
     list_rules: bool,
+    graph_dump: bool,
+    r7_index: bool,
     profile: Profile,
     hot: bool,
     paths: Vec<PathBuf>,
@@ -35,6 +38,8 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         rules: ALL_RULES.to_vec(),
         list_rules: false,
+        graph_dump: false,
+        r7_index: false,
         profile: Profile::Sim,
         hot: false,
         paths: Vec::new(),
@@ -73,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
                 args.rules = rules;
             }
             "--list-rules" => args.list_rules = true,
+            "--graph-dump" => args.graph_dump = true,
+            "--r7-index" => args.r7_index = true,
             "--profile" => {
                 let v = it.next().ok_or("--profile needs sim|harness")?;
                 args.profile = Profile::from_name(&v)
@@ -102,18 +109,49 @@ fn main() -> ExitCode {
         println!(
             "cpsim-lint: determinism-invariant static analysis for cpsim\n\n\
              USAGE: cpsim-lint [--check] [--format text|json] [--root DIR]\n\
-                    [--rules r1,r2,...] [--list-rules]\n\
+                    [--rules r1,r2,... | --rules no-wall-clock,...]\n\
+                    [--list-rules] [--graph-dump] [--r7-index]\n\
                     [--profile sim|harness] [--hot] [FILES...]\n\n\
-             With FILES, scans just those files under --profile (profile\n\
-             directives in the files are honored); otherwise scans the\n\
-             whole workspace found at --root (default: walk up from cwd)."
+             With FILES, scans those files as one unit under --profile (a\n\
+             symbol graph is built over the set, so R7-R9 see cross-file\n\
+             call chains; profile directives in the files are honored);\n\
+             otherwise scans the whole workspace found at --root (default:\n\
+             walk up from cwd).\n\n\
+             --graph-dump prints the parsed symbol graph and the R7 hot\n\
+             closure instead of scanning; --r7-index additionally flags\n\
+             slice indexing in the closure (strict audit mode)."
         );
         return ExitCode::SUCCESS;
     }
     if args.list_rules {
         for r in ALL_RULES {
-            println!("{:24} {}", r.name(), r.description());
+            println!("{:3} {:24} {}", r.short_id(), r.name(), r.description());
         }
+        return ExitCode::SUCCESS;
+    }
+    let cfg = GraphConfig {
+        index_checks: args.r7_index,
+    };
+
+    if args.graph_dump {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let root = match args.root.or_else(|| find_workspace_root(&cwd)) {
+            Some(r) => r,
+            None => {
+                eprintln!("cpsim-lint: no workspace root found (pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+        let loaded = match load_workspace(&root) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cpsim-lint: load failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (g, sim_idx) = build_graph(&loaded);
+        let refs: Vec<&cpsim_lint::SourceFile> = sim_idx.iter().map(|&i| &loaded[i].src).collect();
+        print!("{}", resolve::render_graph_dump(&g, &refs));
         return ExitCode::SUCCESS;
     }
 
@@ -126,7 +164,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match run_workspace(&root, &args.rules) {
+        match run_workspace_with(&root, &args.rules, &cfg) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("cpsim-lint: scan failed: {e}");
@@ -134,19 +172,15 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let mut files = Vec::new();
-        for p in &args.paths {
-            match scan_path(p, args.profile, args.hot, &args.rules) {
-                Ok(f) => files.push(f),
-                Err(e) => {
-                    eprintln!("cpsim-lint: {}: {e}", p.display());
-                    return ExitCode::from(2);
-                }
+        match scan_files(&args.paths, args.profile, args.hot, &args.rules, &cfg) {
+            Ok(files) => Report {
+                root: PathBuf::from("."),
+                files,
+            },
+            Err(e) => {
+                eprintln!("cpsim-lint: {e}");
+                return ExitCode::from(2);
             }
-        }
-        Report {
-            root: PathBuf::from("."),
-            files,
         }
     };
 

@@ -143,10 +143,16 @@ fn render_violations(out: &mut String, vs: &[Violation]) {
         if i > 0 {
             out.push_str(", ");
         }
+        // `id` is the stable short rule id (R1..R9, R0) and `path` makes
+        // each violation row self-contained, so CI tooling can diff or
+        // aggregate rows without joining back to the enclosing file
+        // object. Both are append-only schema extensions.
         let _ = write!(
             out,
-            "{{\"rule\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}",
+            "{{\"id\": {}, \"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(v.rule.short_id()),
             json_str(v.rule.name()),
+            json_str(&v.path),
             v.line,
             v.col,
             json_str(&v.message),

@@ -29,6 +29,15 @@ pub enum RuleId {
     NoPanicHotPath,
     /// R6: no stdout/stderr printing from library crates.
     NoStdoutInLibs,
+    /// R7: no panic reachable from a declared hot entry point (call-graph
+    /// closure; replaces the PR-4 hand-maintained hot-file list).
+    PanicReachability,
+    /// R8: every RNG value must flow from a named derive/substream
+    /// constructor — no clones, no literal re-seeding, no shared cells.
+    RngStreamDiscipline,
+    /// R9: `PlacementStore` mutation must be dominated by the `StoreCell`
+    /// turnstile API.
+    StoreProtocol,
     /// Meta: malformed or misused `cpsim-lint:` directives.
     LintDirective,
 }
@@ -41,6 +50,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::NoRawFloatOrd,
     RuleId::NoPanicHotPath,
     RuleId::NoStdoutInLibs,
+    RuleId::PanicReachability,
+    RuleId::RngStreamDiscipline,
+    RuleId::StoreProtocol,
     RuleId::LintDirective,
 ];
 
@@ -54,13 +66,38 @@ impl RuleId {
             RuleId::NoRawFloatOrd => "no-raw-float-ord",
             RuleId::NoPanicHotPath => "no-panic-hot-path",
             RuleId::NoStdoutInLibs => "no-stdout-in-libs",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::RngStreamDiscipline => "rng-stream-discipline",
+            RuleId::StoreProtocol => "store-protocol",
             RuleId::LintDirective => "lint-directive",
         }
     }
 
-    /// Resolves a rule name as written in `allow(...)` or `--rules`.
+    /// The stable short ID used in JSON reports and accepted by `--rules`
+    /// (`R7` / `r7` for `panic-reachability`, ...). The directive meta-rule
+    /// is `R0`.
+    pub fn short_id(self) -> &'static str {
+        match self {
+            RuleId::NoWallClock => "R1",
+            RuleId::NoAmbientRng => "R2",
+            RuleId::NoUnorderedIteration => "R3",
+            RuleId::NoRawFloatOrd => "R4",
+            RuleId::NoPanicHotPath => "R5",
+            RuleId::NoStdoutInLibs => "R6",
+            RuleId::PanicReachability => "R7",
+            RuleId::RngStreamDiscipline => "R8",
+            RuleId::StoreProtocol => "R9",
+            RuleId::LintDirective => "R0",
+        }
+    }
+
+    /// Resolves a rule name (kebab-case) or short ID (`r7`/`R7`) as written
+    /// in `allow(...)` or `--rules`.
     pub fn from_name(s: &str) -> Option<RuleId> {
-        ALL_RULES.iter().copied().find(|r| r.name() == s)
+        ALL_RULES
+            .iter()
+            .copied()
+            .find(|r| r.name() == s || r.short_id() == s || r.short_id().to_ascii_lowercase() == s)
     }
 
     /// One-line description for `--list-rules` and the design doc.
@@ -84,6 +121,15 @@ impl RuleId {
             RuleId::NoStdoutInLibs => {
                 "library crates must not print: output flows through metrics tables and the bench harness"
             }
+            RuleId::PanicReachability => {
+                "no panic/unwrap may be reachable from a hot entry point (wheel, turnstile, runner, placement, admission) through any call chain"
+            }
+            RuleId::RngStreamDiscipline => {
+                "RNG values must flow from named derive/substream constructors: no stream clones, literal re-seeding, or shared RNG cells"
+            }
+            RuleId::StoreProtocol => {
+                "PlacementStore mutation must go through the StoreCell turnstile (cell.with/cell.locked) or a &mut-store helper it dominates"
+            }
             RuleId::LintDirective => {
                 "cpsim-lint directives must parse, name real rules, and carry a non-empty reason"
             }
@@ -101,12 +147,18 @@ impl RuleId {
             RuleId::NoWallClock | RuleId::NoUnorderedIteration | RuleId::NoStdoutInLibs => {
                 profile == Profile::Sim
             }
+            // The graph rules are sim-crate invariants: the harness neither
+            // sits in the hot closure nor touches the store or streams.
+            RuleId::PanicReachability | RuleId::RngStreamDiscipline | RuleId::StoreProtocol => {
+                profile == Profile::Sim
+            }
             RuleId::NoPanicHotPath => profile == Profile::Sim && hot_path,
         }
     }
 }
 
 /// A rule hit before line/column resolution and suppression matching.
+#[derive(Debug, Clone)]
 pub struct RawViolation {
     /// Byte offset of the match in the file.
     pub byte: usize,
@@ -231,47 +283,10 @@ pub fn check(file: &SourceFile, rule: RuleId) -> Vec<RawViolation> {
             }
         }
         RuleId::NoPanicHotPath => {
-            for i in word_occurrences(code, "unwrap") {
-                if prev_nonspace(cb, i) == Some(b'.')
-                    && next_nonspace_idx(cb, i + "unwrap".len()).is_some_and(|j| cb[j] == b'(')
-                {
-                    push(i, "`.unwrap()` on a hot path; convert to a typed error or an `.expect(\"<invariant>\")` citing why it cannot fail".to_string());
-                }
-            }
-            for w in ["panic", "unreachable", "todo", "unimplemented"] {
-                for i in word_occurrences(code, w) {
-                    if next_nonspace_idx(cb, i + w.len()).is_some_and(|j| cb[j] == b'!') {
-                        push(i, format!(
-                            "`{w}!` on a hot path; return a typed error, or suppress with a reason if genuinely unreachable"
-                        ));
-                    }
-                }
-            }
-            for i in word_occurrences(code, "expect") {
-                if prev_nonspace(cb, i) != Some(b'.') {
-                    continue;
-                }
-                let Some(open) = next_nonspace_idx(cb, i + "expect".len()) else {
-                    continue;
-                };
-                if cb[open] != b'(' {
-                    continue;
-                }
-                // Read the message literal from the *original* text (it is
-                // masked out of `code`). Non-literal arguments pass: a
-                // constructed message is presumed substantive.
-                let Some(q) = next_nonspace_idx(file.text.as_bytes(), open + 1) else {
-                    continue;
-                };
-                if file.text.as_bytes()[q] != b'"' {
-                    continue;
-                }
-                let msg = read_string_literal(&file.text, q);
-                if msg.chars().count() < MIN_EXPECT_MSG_CHARS {
-                    push(i, format!(
-                        "`.expect(\"{msg}\")` on a hot path does not cite its invariant (need ≥ {MIN_EXPECT_MSG_CHARS} chars explaining why it cannot fail)"
-                    ));
-                }
+            for (i, desc) in panic_sites(file, 0, code.len()) {
+                push(i, format!(
+                    "{desc} on a hot path; return a typed error, or use an `.expect(\"<invariant>\")` citing why it cannot fail"
+                ));
             }
         }
         RuleId::NoStdoutInLibs => {
@@ -285,11 +300,132 @@ pub fn check(file: &SourceFile, rule: RuleId) -> Vec<RawViolation> {
                 }
             }
         }
+        // The graph rules need the whole-workspace symbol graph; they are
+        // computed in [`crate::graph_rules`] and merged during scan
+        // assembly, not pattern-matched per file.
+        RuleId::PanicReachability | RuleId::RngStreamDiscipline | RuleId::StoreProtocol => {}
         // Directive hygiene is handled during scan assembly (it needs the
         // rule registry and profile policy), not by pattern matching.
         RuleId::LintDirective => {}
     }
     out
+}
+
+/// Panic-capable sites in `file` within the byte range `[start, end)`:
+/// `.unwrap()`, the `panic!` macro family, and `.expect("...")` whose
+/// message is too short to cite the invariant making it unreachable.
+///
+/// Shared by R5 (whole hot files, `--hot` scans) and R7 (bodies of fns in
+/// the hot entry-point closure). Returns `(byte, description)` pairs; the
+/// caller supplies rule-specific advice.
+pub(crate) fn panic_sites(file: &SourceFile, start: usize, end: usize) -> Vec<(usize, String)> {
+    let code = &file.code;
+    let cb = code.as_bytes();
+    let mut out = Vec::new();
+    for i in word_occurrences(code, "unwrap") {
+        if i < start || i >= end {
+            continue;
+        }
+        if prev_nonspace(cb, i) == Some(b'.')
+            && next_nonspace_idx(cb, i + "unwrap".len()).is_some_and(|j| cb[j] == b'(')
+        {
+            out.push((i, "`.unwrap()`".to_string()));
+        }
+    }
+    for w in ["panic", "unreachable", "todo", "unimplemented"] {
+        for i in word_occurrences(code, w) {
+            if i < start || i >= end {
+                continue;
+            }
+            if next_nonspace_idx(cb, i + w.len()).is_some_and(|j| cb[j] == b'!') {
+                out.push((i, format!("`{w}!`")));
+            }
+        }
+    }
+    for i in word_occurrences(code, "expect") {
+        if i < start || i >= end {
+            continue;
+        }
+        if prev_nonspace(cb, i) != Some(b'.') {
+            continue;
+        }
+        let Some(open) = next_nonspace_idx(cb, i + "expect".len()) else {
+            continue;
+        };
+        if cb[open] != b'(' {
+            continue;
+        }
+        // Read the message literal from the *original* text (it is masked
+        // out of `code`). Non-literal arguments pass: a constructed message
+        // is presumed substantive.
+        let Some(q) = next_nonspace_idx(file.text.as_bytes(), open + 1) else {
+            continue;
+        };
+        let Some(msg) = read_expect_literal(&file.text, q) else {
+            continue;
+        };
+        if msg.chars().count() < MIN_EXPECT_MSG_CHARS {
+            out.push((i, format!(
+                "`.expect(\"{msg}\")` whose message does not cite its invariant (need ≥ {MIN_EXPECT_MSG_CHARS} chars)"
+            )));
+        }
+    }
+    out.sort_by_key(|&(i, _)| i);
+    out
+}
+
+/// Slice/array indexing sites in `[start, end)`: `expr[...]` where the
+/// `[` follows an identifier, `)`, or `]`. Opt-in for R7 (`--r7-index`):
+/// structurally-validated indices are the wheel/queue idiom, so this is a
+/// strict audit mode rather than a default gate.
+pub(crate) fn indexing_sites(file: &SourceFile, start: usize, end: usize) -> Vec<(usize, String)> {
+    let cb = file.code.as_bytes();
+    let mut out = Vec::new();
+    for i in start..end.min(cb.len()) {
+        if cb[i] != b'[' || i == 0 {
+            continue;
+        }
+        let p = cb[i - 1];
+        if is_ident_byte(p) || p == b')' || p == b']' {
+            out.push((i, "slice indexing (`expr[...]`)".to_string()));
+        }
+    }
+    out
+}
+
+/// Reads an `.expect(...)` message literal starting at byte `q` of the
+/// original text: plain `"..."` or raw `r"..."` / `r#"..."#` forms.
+/// `None` means the argument is not a string literal (a constructed
+/// message is presumed substantive).
+fn read_expect_literal(text: &str, q: usize) -> Option<String> {
+    let b = text.as_bytes();
+    if b[q] == b'"' {
+        return Some(read_string_literal(text, q));
+    }
+    if b[q] != b'r' {
+        return None;
+    }
+    let mut i = q + 1;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None;
+    }
+    let start = i + 1;
+    let mut p = start;
+    while p < b.len() {
+        if b[p] == b'"'
+            && b[p + 1..].len() >= hashes
+            && b[p + 1..p + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return Some(text[start..p].to_string());
+        }
+        p += 1;
+    }
+    Some(text[start..].to_string())
 }
 
 /// Reads the body of the `"`-quoted literal opening at byte `q`.

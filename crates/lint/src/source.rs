@@ -102,6 +102,7 @@ impl SourceFile {
     /// Parses `text` (as read from `path`) into a scannable file.
     pub fn parse(path: PathBuf, rel: String, text: String) -> SourceFile {
         let (code, comments) = mask(&text);
+        let code = mask_macro_bodies(code);
         let line_starts = line_starts(&text);
         let exempt = exempt_ranges(&code);
         let mut directives = Vec::new();
@@ -318,6 +319,88 @@ fn mask(text: &str) -> (String, Vec<(usize, String)>) {
         String::from_utf8(code).expect("masking only writes ASCII over ASCII"),
         comments,
     )
+}
+
+/// Blanks the token-tree bodies of `macro_rules!` definitions in
+/// already-masked code (newlines kept, outer delimiters kept).
+///
+/// Macro bodies are matcher patterns and expansion templates, not code the
+/// simulation build runs directly: scanning them trips the rule matchers on
+/// fragment tokens and confuses the item parser's brace tracking. Runs as a
+/// post-pass over masked code, so `macro_rules` inside strings or comments
+/// cannot open a phantom body.
+fn mask_macro_bodies(code: String) -> String {
+    let mut b = code.into_bytes();
+    let mut i = 0;
+    let skip_ws = |b: &[u8], mut j: usize| {
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        j
+    };
+    while let Some(pos) = find_word(&b, i, b"macro_rules") {
+        // Expect `! <ident> <open-delim>`; anything else is plain code.
+        let mut j = skip_ws(&b, pos + "macro_rules".len());
+        if j >= b.len() || b[j] != b'!' {
+            i = pos + 1;
+            continue;
+        }
+        j = skip_ws(&b, j + 1);
+        let name_start = j;
+        while j < b.len() && is_ident_byte(b[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            i = pos + 1;
+            continue;
+        }
+        j = skip_ws(&b, j);
+        let (open, close) = match b.get(j) {
+            Some(b'{') => (b'{', b'}'),
+            Some(b'(') => (b'(', b')'),
+            Some(b'[') => (b'[', b']'),
+            _ => {
+                i = pos + 1;
+                continue;
+            }
+        };
+        let body_start = j + 1;
+        let mut depth = 1usize;
+        let mut k = body_start;
+        while k < b.len() && depth > 0 {
+            if b[k] == open {
+                depth += 1;
+            } else if b[k] == close {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        let body_end = if depth == 0 { k - 1 } else { k };
+        for x in &mut b[body_start..body_end] {
+            if *x != b'\n' {
+                *x = b' ';
+            }
+        }
+        i = k;
+    }
+    String::from_utf8(b).expect("macro-body masking only writes ASCII over ASCII")
+}
+
+/// First whole-word occurrence of `word` in `b` at or after `from`.
+fn find_word(b: &[u8], from: usize, word: &[u8]) -> Option<usize> {
+    let mut i = from;
+    while i + word.len() <= b.len() {
+        if &b[i..i + word.len()] == word {
+            let before_ok = i == 0 || !is_ident_byte(b[i - 1]);
+            let end = i + word.len();
+            let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+            if before_ok && after_ok {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Scans past a `"`-delimited string body starting at `i` (first byte after

@@ -4,7 +4,9 @@
 
 use std::path::PathBuf;
 
-use cpsim_lint::{scan_path, FileReport, Profile, RuleId, ALL_RULES};
+use cpsim_lint::{
+    graph_rules::GraphConfig, scan_files, scan_path, FileReport, Profile, RuleId, ALL_RULES,
+};
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -14,6 +16,20 @@ fn fixture(name: &str) -> PathBuf {
 
 fn scan(name: &str, profile: Profile, hot: bool) -> FileReport {
     scan_path(&fixture(name), profile, hot, ALL_RULES).expect("fixture file readable")
+}
+
+/// Scans a fixture *set* as one unit so the graph rules (R7–R9) see the
+/// cross-file call chains. Reports come back in `names` order.
+fn scan_set(names: &[&str]) -> Vec<FileReport> {
+    let paths: Vec<PathBuf> = names.iter().map(|n| fixture(n)).collect();
+    scan_files(
+        &paths,
+        Profile::Sim,
+        false,
+        ALL_RULES,
+        &GraphConfig::default(),
+    )
+    .expect("fixture files readable")
 }
 
 fn count(report: &FileReport, rule: RuleId) -> usize {
@@ -145,6 +161,131 @@ fn reasonless_or_unknown_suppressions_are_violations() {
     // And the reasonless allow does NOT suppress: the Instant::now under it
     // still fires.
     assert_eq!(count(&r, RuleId::NoWallClock), 1, "{:?}", r.violations);
+}
+
+#[test]
+fn raw_string_literals_are_masked_and_expect_messages_read() {
+    let r = scan("masking_raw_string.rs", Profile::Sim, true);
+    // Only the two real HashMap mentions after the raw strings fire.
+    assert_eq!(
+        count(&r, RuleId::NoUnorderedIteration),
+        2,
+        "{:?}",
+        r.violations
+    );
+    for rule in [
+        RuleId::NoWallClock,
+        RuleId::NoAmbientRng,
+        RuleId::NoRawFloatOrd,
+        RuleId::NoStdoutInLibs,
+    ] {
+        assert_eq!(count(&r, rule), 0, "{:?}", r.violations);
+    }
+    // The short raw-string expect message fires; the invariant-citing one
+    // passes.
+    assert_eq!(count(&r, RuleId::NoPanicHotPath), 1, "{:?}", r.violations);
+}
+
+#[test]
+fn macro_rules_bodies_are_masked() {
+    let r = scan("masking_macro_rules.rs", Profile::Sim, false);
+    // Only the two HashMap mentions outside the macro bodies fire.
+    assert_eq!(
+        count(&r, RuleId::NoUnorderedIteration),
+        2,
+        "{:?}",
+        r.violations
+    );
+    assert_eq!(count(&r, RuleId::NoWallClock), 0, "{:?}", r.violations);
+    assert_eq!(count(&r, RuleId::NoAmbientRng), 0, "{:?}", r.violations);
+    assert_eq!(count(&r, RuleId::NoRawFloatOrd), 0, "{:?}", r.violations);
+}
+
+#[test]
+fn r7_flags_panics_reachable_across_files() {
+    let reports = scan_set(&["r7_bad/wheel.rs", "r7_bad/helper.rs"]);
+    // The entry-point file itself is panic-free...
+    assert_eq!(
+        count(&reports[0], RuleId::PanicReachability),
+        0,
+        "{:?}",
+        reports[0].violations
+    );
+    // ...but the unwrap two hops away, in a different file, is flagged
+    // with its reachability provenance.
+    assert_eq!(
+        count(&reports[1], RuleId::PanicReachability),
+        1,
+        "{:?}",
+        reports[1].violations
+    );
+    let v = reports[1]
+        .violations
+        .iter()
+        .find(|v| v.rule == RuleId::PanicReachability)
+        .expect("flagged above");
+    assert!(
+        v.message.contains("reachable from hot entry"),
+        "missing provenance: {}",
+        v.message
+    );
+}
+
+#[test]
+fn r7_clean_closure_passes() {
+    for r in scan_set(&["r7_ok/wheel.rs", "r7_ok/helper.rs"]) {
+        assert_eq!(
+            count(&r, RuleId::PanicReachability),
+            0,
+            "{:?}",
+            r.violations
+        );
+    }
+}
+
+#[test]
+fn r8_flags_each_discipline_breach() {
+    let reports = scan_set(&["r8_bad.rs"]);
+    // seed_from_u64 outside the stream module + RNG clone + literal
+    // master seed outside a scenario builder + SimRng in a shared cell.
+    assert_eq!(
+        count(&reports[0], RuleId::RngStreamDiscipline),
+        4,
+        "{:?}",
+        reports[0].violations
+    );
+}
+
+#[test]
+fn r8_sanctioned_stream_derivation_passes() {
+    let reports = scan_set(&["r8_ok.rs"]);
+    assert_eq!(
+        count(&reports[0], RuleId::RngStreamDiscipline),
+        0,
+        "{:?}",
+        reports[0].violations
+    );
+}
+
+#[test]
+fn r9_flags_naked_store_mutation() {
+    let reports = scan_set(&["r9_bad/store.rs", "r9_bad/user.rs"]);
+    // The defining file polices nothing; the naked `.commit(...)` in the
+    // user file fires.
+    assert_eq!(count(&reports[0], RuleId::StoreProtocol), 0);
+    assert_eq!(
+        count(&reports[1], RuleId::StoreProtocol),
+        1,
+        "{:?}",
+        reports[1].violations
+    );
+}
+
+#[test]
+fn r9_dominated_mutations_pass() {
+    for r in scan_set(&["r9_ok/store.rs", "r9_ok/user.rs"]) {
+        assert_eq!(count(&r, RuleId::StoreProtocol), 0, "{:?}", r.violations);
+    }
 }
 
 #[test]

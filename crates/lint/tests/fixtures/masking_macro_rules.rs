@@ -1,0 +1,31 @@
+//! Fixture: `macro_rules!` bodies are patterns and templates — token soup,
+//! not code the simulation build runs directly — so banned tokens inside
+//! them must not fire. Code after the macro is scanned again.
+
+macro_rules! make_table {
+    ($name:ident) => {
+        pub struct $name {
+            inner: HashMap<u64, u64>,
+        }
+        impl $name {
+            pub fn now() -> u64 {
+                let _ = Instant::now();
+                let _ = thread_rng();
+                let _: HashSet<u64> = HashSet::new();
+                0
+            }
+        }
+    };
+}
+
+macro_rules! paren_form (
+    () => {
+        SystemTime::now().partial_cmp(&UNIX_EPOCH)
+    };
+);
+
+pub fn outside_the_macro() {
+    // Both HashMap mentions below must fire: the macro body ended.
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m;
+}

@@ -1,0 +1,11 @@
+//! R7 fixture (violating), file 2 of 2: `inner` is reachable from the
+//! hot entry `EventQueue::pop` via `advance`, so its `.unwrap()` must be
+//! flagged even though this file is nowhere near the old hot-path list.
+
+pub fn advance(n: u64) -> u64 {
+    inner(n)
+}
+
+fn inner(n: u64) -> u64 {
+    n.checked_add(1).unwrap()
+}

@@ -1,0 +1,13 @@
+//! R7 fixture (violating), file 1 of 2: `EventQueue::pop` is a declared
+//! hot entry point; its call chain crosses into `helper.rs`, where a
+//! panic site hides two hops away.
+
+pub struct EventQueue {
+    len: u64,
+}
+
+impl EventQueue {
+    pub fn pop(&mut self) -> u64 {
+        crate::helper::advance(self.len)
+    }
+}

@@ -1,0 +1,10 @@
+//! R7 fixture (clean), file 2 of 2: the reachable chain stays total —
+//! saturating arithmetic instead of unwrap.
+
+pub fn advance(n: u64) -> u64 {
+    inner(n)
+}
+
+fn inner(n: u64) -> u64 {
+    n.saturating_add(1)
+}

@@ -1,0 +1,12 @@
+//! R7 fixture (clean), file 1 of 2: the same shape as `r7_bad` but the
+//! reachable helpers carry no panic sites.
+
+pub struct EventQueue {
+    len: u64,
+}
+
+impl EventQueue {
+    pub fn pop(&mut self) -> u64 {
+        crate::helper::advance(self.len)
+    }
+}

@@ -1,0 +1,17 @@
+//! R8 fixture (violating): four stream-discipline breaches — a raw
+//! seeding constructor outside the stream-source module, an RNG clone, a
+//! literal master seed outside a scenario builder, and a stream in a
+//! shared cell.
+
+pub struct SimRng(u64);
+
+pub struct Shared {
+    rng: Arc<Mutex<SimRng>>,
+}
+
+pub fn breaches(base_rng: &SimRng) -> u64 {
+    let mut rng = SimRng::seed_from_u64(9);
+    let twin = base_rng.clone();
+    let streams = Streams::new(42);
+    rng.0 + twin.0 + streams.master()
+}

@@ -1,0 +1,24 @@
+//! R8 fixture (clean): every stream flows through a sanctioned path — a
+//! scenario-builder literal, a threaded seed, and derived substreams.
+
+pub struct FedScenario {
+    seed: u64,
+}
+
+impl FedScenario {
+    pub fn build(&self) -> Streams {
+        Streams::new(7)
+    }
+}
+
+pub fn scenario_defaults() -> Streams {
+    Streams::new(3)
+}
+
+pub fn from_config(seed: u64) -> Streams {
+    Streams::new(seed)
+}
+
+pub fn derived(streams: &Streams) -> u64 {
+    streams.rng("arrivals").next()
+}

@@ -1,0 +1,20 @@
+//! R9 fixture, file 1 of 2: a minimal `PlacementStore`. The mutator set
+//! is computed from this impl (`&mut self` methods), not hand-listed.
+
+pub struct PlacementStore {
+    committed: u64,
+}
+
+impl PlacementStore {
+    pub fn new(slots: u64) -> Self {
+        PlacementStore { committed: slots }
+    }
+
+    pub fn commit(&mut self, n: u64) {
+        self.committed += n;
+    }
+
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+}

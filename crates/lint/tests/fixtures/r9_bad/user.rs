@@ -1,0 +1,14 @@
+//! R9 fixture (violating), file 2 of 2: a naked store mutation — no
+//! turnstile guard, no `&mut PlacementStore` parameter, not assembly.
+
+use crate::store::PlacementStore;
+
+pub struct Shard {
+    store: PlacementStore,
+}
+
+impl Shard {
+    pub fn apply(&mut self) {
+        self.store.commit(1);
+    }
+}

@@ -1,0 +1,36 @@
+//! R9 fixture (clean), file 1 of 2: the minimal `PlacementStore` plus
+//! the turnstile cell that guards it.
+
+pub struct PlacementStore {
+    committed: u64,
+}
+
+impl PlacementStore {
+    pub fn new(slots: u64) -> Self {
+        PlacementStore { committed: slots }
+    }
+
+    pub fn commit(&mut self, n: u64) {
+        self.committed += n;
+    }
+
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+}
+
+pub struct StoreCell {
+    store: PlacementStore,
+}
+
+impl StoreCell {
+    pub fn with<R>(
+        &mut self,
+        shard: usize,
+        now_us: u64,
+        f: impl FnOnce(&mut PlacementStore) -> R,
+    ) -> R {
+        let _ = (shard, now_us);
+        f(&mut self.store)
+    }
+}

@@ -1,0 +1,29 @@
+//! R9 fixture (clean), file 2 of 2: every mutation is dominated by the
+//! turnstile in one of the three sanctioned ways.
+
+use crate::store::{PlacementStore, StoreCell};
+
+pub struct Shard {
+    now_us: u64,
+}
+
+impl Shard {
+    /// Lexically inside a turnstile guard.
+    pub fn apply(&self, cell: &mut StoreCell) {
+        cell.with(0, self.now_us, |st| st.commit(1));
+    }
+
+    /// A dominated helper: the `&mut PlacementStore` can only have
+    /// originated inside a guard upstream.
+    pub fn bump(&self, st: &mut PlacementStore) {
+        st.commit(2);
+    }
+
+    /// Assembly: the fn that constructs the store may seed it directly —
+    /// nothing else can see it yet.
+    pub fn boot(&self) -> PlacementStore {
+        let mut st = PlacementStore::new(4);
+        st.commit(1);
+        st
+    }
+}

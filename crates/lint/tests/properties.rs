@@ -1,0 +1,79 @@
+//! Property tests over the *real* workspace sources: the masking pass is
+//! idempotent and length-preserving, graph construction is deterministic,
+//! and the item parser never panics on truncated input (the tokenizer and
+//! parser must be total — a half-written file mid-edit is a normal input
+//! for editor integrations).
+
+use std::path::PathBuf;
+
+use cpsim_lint::{load_workspace, SourceFile, SymbolGraph};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn masking_is_idempotent_and_length_preserving() {
+    let loaded = load_workspace(&workspace_root()).expect("load workspace");
+    assert!(!loaded.is_empty());
+    for f in &loaded {
+        assert_eq!(
+            f.src.code.len(),
+            f.src.text.len(),
+            "{}: masking changed the byte length",
+            f.src.rel
+        );
+        // Feeding the masked output back through the parser must be a
+        // fixed point: nothing left to mask masks to itself.
+        let re = SourceFile::parse(f.src.path.clone(), f.src.rel.clone(), f.src.code.clone());
+        assert_eq!(
+            re.code, f.src.code,
+            "{}: masking is not idempotent",
+            f.src.rel
+        );
+    }
+}
+
+#[test]
+fn graph_construction_is_deterministic() {
+    let loaded = load_workspace(&workspace_root()).expect("load workspace");
+    let refs: Vec<&SourceFile> = loaded.iter().map(|f| &f.src).collect();
+    let a = SymbolGraph::build(&refs);
+    let b = SymbolGraph::build(&refs);
+    assert_eq!(a.fns.len(), b.fns.len());
+    assert_eq!(a.calls.len(), b.calls.len());
+    assert_eq!(a.callees, b.callees);
+    for (x, y) in a.fns.iter().zip(b.fns.iter()) {
+        assert_eq!(x.qualified(), y.qualified());
+    }
+}
+
+#[test]
+fn parser_is_total_on_truncated_sources() {
+    let loaded = load_workspace(&workspace_root()).expect("load workspace");
+    for f in &loaded {
+        let n = f.src.text.len();
+        // Deterministic cut points: fixed fractions plus the last byte.
+        for cut in [n / 7, n / 3, n / 2, (n * 3) / 4, n.saturating_sub(1)] {
+            let mut end = cut.min(n);
+            while end > 0 && !f.src.text.is_char_boundary(end) {
+                end -= 1;
+            }
+            let truncated = f.src.text[..end].to_string();
+            let src = SourceFile::parse(f.src.path.clone(), f.src.rel.clone(), truncated);
+            assert_eq!(src.code.len(), end, "{}@{end}: length drifted", f.src.rel);
+            let refs = vec![&src];
+            let g = SymbolGraph::build(&refs);
+            // Every recorded span must stay in bounds of the truncation.
+            for item in &g.fns {
+                if let Some((bs, be)) = item.body {
+                    assert!(bs <= be && be <= end, "{}@{end}: span escaped", f.src.rel);
+                }
+            }
+        }
+    }
+}

@@ -1334,7 +1334,7 @@ impl ControlPlane {
                 let disk_need = match mode {
                     CloneMode::Full => spec.disk_gb,
                     CloneMode::Linked => self.cfg.linked_delta_gb,
-                    // cpsim-lint: allow(no-panic-hot-path): the Instant arm returns at the top of this stage, so this match sees only Full/Linked
+                    // cpsim-lint: allow(no-panic-hot-path, panic-reachability): the Instant arm returns at the top of this stage, so this match sees only Full/Linked
                     CloneMode::Instant => unreachable!("instant handled above"),
                 };
                 let mut placement =

@@ -140,7 +140,11 @@ impl StoragePool {
     ) -> Result<(), StorageError> {
         let ds = self.record(id)?.disk.datastore;
         self.reserve(inv, ds, delta_gb)?;
-        self.disks.get_mut(id).expect("checked").disk.allocated_gb += delta_gb;
+        self.disks
+            .get_mut(id)
+            .expect("record() verified the id above")
+            .disk
+            .allocated_gb += delta_gb;
         Ok(())
     }
 
@@ -158,7 +162,10 @@ impl StoragePool {
                 return Err(StorageError::NotAttached(id));
             }
         }
-        self.disks.get_mut(id).expect("checked").attached = false;
+        self.disks
+            .get_mut(id)
+            .expect("record() verified the id above")
+            .attached = false;
         let mut removed = Vec::new();
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
@@ -167,7 +174,10 @@ impl StoragePool {
                 break;
             }
             let parent = rec.disk.parent();
-            let rec = self.disks.remove(cur).expect("live");
+            let rec = self
+                .disks
+                .remove(cur)
+                .expect("record() verified this chain entry above");
             inv.adjust_datastore_usage(rec.disk.datastore, -rec.disk.allocated_gb)?;
             removed.push(cur);
             if let Some(p) = parent {
@@ -218,9 +228,15 @@ impl StoragePool {
                 return Err(StorageError::Attached(parent));
             }
         }
-        let rec = self.disks.remove(id).expect("checked");
+        let rec = self
+            .disks
+            .remove(id)
+            .expect("record() verified the id above");
         inv.adjust_datastore_usage(rec.disk.datastore, -rec.disk.allocated_gb)?;
-        let prec = self.disks.get_mut(parent).expect("checked");
+        let prec = self
+            .disks
+            .get_mut(parent)
+            .expect("record() verified the parent above");
         prec.children -= 1;
         prec.attached = true;
         let merged_bytes = alloc_gb * crate::disk::GIB;
@@ -247,12 +263,18 @@ impl StoragePool {
                 return Err(StorageError::NotAttached(id));
             }
         }
-        self.disks.get_mut(id).expect("checked").attached = false;
+        self.disks
+            .get_mut(id)
+            .expect("record() verified the id above")
+            .attached = false;
         match self.create_delta(inv, id, delta_alloc_gb) {
             Ok(delta) => Ok(delta),
             Err(e) => {
                 // Roll back the detach so the caller's state is unchanged.
-                self.disks.get_mut(id).expect("checked").attached = true;
+                self.disks
+                    .get_mut(id)
+                    .expect("record() verified the id above")
+                    .attached = true;
                 Err(e)
             }
         }
